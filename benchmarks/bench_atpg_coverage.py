@@ -1,0 +1,37 @@
+"""Circuit-scale extension: classic stuck-at test sets miss CP faults;
+the polarity-aware ATPG closes the gap (the paper's thesis at benchmark
+scale)."""
+
+import math
+
+from repro.analysis import save_report
+from repro.analysis.atpg_experiments import experiment_atpg_coverage
+
+
+def test_atpg_coverage_study(once):
+    results, report = once(
+        experiment_atpg_coverage,
+        ("c17", "rca4", "parity8", "tmr_voter", "eq4", "alu_slice"),
+    )
+    print("\n" + report)
+    save_report("atpg_coverage", report)
+
+    by_name = {r.name: r for r in results}
+    # Classic stuck-at ATPG reaches full coverage of its own model.
+    for r in results:
+        assert r.stuck_at_coverage > 0.95, r.name
+
+    # DP-rich circuits: the stuck-at set leaves polarity faults behind;
+    # the dedicated ATPG covers them all.
+    for name in ("rca4", "parity8", "tmr_voter"):
+        r = by_name[name]
+        assert r.n_polarity > 0
+        assert r.polarity_by_stuck_at_set < r.polarity_atpg_coverage
+        assert r.polarity_atpg_coverage > 0.95
+        # Every DP-gate open is masked (needs the V-C procedure).
+        assert r.n_masked_opens > 0
+
+    # The SP-only c17 has no polarity faults and no masked opens.
+    assert by_name["c17"].n_polarity == 0
+    assert by_name["c17"].n_masked_opens == 0
+    assert math.isnan(by_name["c17"].polarity_by_stuck_at_set)

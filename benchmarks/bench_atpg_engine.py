@@ -1,0 +1,63 @@
+"""Engine throughput benchmarks: PODEM, fault simulation, SPICE kernel.
+
+Unlike the table/figure benches these measure raw speed with several
+rounds — they are regression guards for the substrates.
+"""
+
+import numpy as np
+
+from repro.atpg.fault_sim import parallel_stuck_at_simulation
+from repro.atpg.faults import stuck_at_faults
+from repro.atpg.podem import generate_test
+from repro.circuits.generators import ripple_carry_adder
+from repro.device.tig_model import TIGSiNWFET
+from repro.gates.builder import build_cell_circuit
+from repro.gates.library import XOR2
+from repro.spice.dc import solve_dc
+
+
+def test_podem_throughput_rca8(benchmark):
+    network = ripple_carry_adder(8)
+    faults = stuck_at_faults(network)
+
+    def run():
+        found = 0
+        for fault in faults:
+            if generate_test(network, fault).success:
+                found += 1
+        return found
+
+    found = benchmark(run)
+    assert found == len(faults)
+
+
+def test_parallel_fault_sim_throughput(benchmark):
+    network = ripple_carry_adder(8)
+    faults = stuck_at_faults(network)
+    rng = np.random.default_rng(11)
+    vectors = [
+        {n: int(rng.integers(0, 2)) for n in network.primary_inputs}
+        for _ in range(128)
+    ]
+    result = benchmark(
+        parallel_stuck_at_simulation, network, faults, vectors
+    )
+    assert result.coverage > 0.9
+
+
+def test_device_model_evaluation_speed(benchmark):
+    device = TIGSiNWFET()
+    volts = np.random.default_rng(3).uniform(0, 1.2, size=(4096, 5))
+
+    def run():
+        return device.terminal_current_matrix(volts)
+
+    out = benchmark(run)
+    assert out.shape == (4096, 5)
+
+
+def test_spice_dc_speed_xor2(benchmark):
+    bench = build_cell_circuit(XOR2, fanout=4)
+    bench.set_vector((0, 1))
+    result = benchmark(solve_dc, bench.circuit)
+    assert abs(result.voltage("out") - 1.2) < 0.1

@@ -1,0 +1,34 @@
+"""Fig. 3: I-V curves of the n-type device with GOS at PGS / CG / PGD."""
+
+import numpy as np
+
+from repro.analysis import format_series, save_report
+from repro.analysis.experiments import experiment_fig3
+
+
+def test_fig3_gos_transfer_curves(once):
+    cases, report = once(experiment_fig3)
+    series = []
+    for case in cases:
+        series.append(
+            format_series(
+                "VCG [V]", f"ID [A] ({case.label})",
+                case.v_cg[::12], case.i_d[::12],
+            )
+        )
+    full = report + "\n\n" + "\n\n".join(series)
+    print("\n" + full)
+    save_report("fig3_gos_iv", full)
+
+    by_label = {c.label: c for c in cases}
+    # Paper shape anchors.
+    pgs = by_label["GOS on PGS"]
+    cg = by_label["GOS on CG"]
+    pgd = by_label["GOS on PGD"]
+    assert 0.3 < pgs.id_sat_ratio < 0.55          # strongest reduction
+    assert pgs.delta_vth == np.float64(pgs.delta_vth)
+    assert abs(pgs.delta_vth - 0.17) < 0.03       # ~ +170 mV
+    assert pgs.id_sat_ratio < cg.id_sat_ratio < 1.0  # CG milder
+    assert cg.i_min < 0.0                         # negative ID at low VCG
+    assert 1.0 < pgd.id_sat_ratio < 1.2           # slight increase
+    assert abs(pgd.delta_vth) < 0.03              # no VTh impact

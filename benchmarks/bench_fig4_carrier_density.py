@@ -1,0 +1,23 @@
+"""Fig. 4: channel electron density maps from the TCAD-lite solver."""
+
+from repro.analysis import save_report
+from repro.analysis.experiments import experiment_fig4
+
+
+def test_fig4_electron_densities(once):
+    summary, report = once(experiment_fig4)
+    print("\n" + report)
+    save_report("fig4_carrier_density", report)
+
+    densities = {k: v.density_cm3 for k, v in summary.items()}
+    # Ordering anchor: FF >> GOS@CG > GOS@PGD >> GOS@PGS.
+    assert (
+        densities["fault-free"]
+        > densities["gos@cg"]
+        > densities["gos@pgd"]
+        > densities["gos@pgs"]
+    )
+    # Each case within ~3x of the paper's annotated value.
+    for name, case in summary.items():
+        ratio = case.density_cm3 / case.reference_cm3
+        assert 1 / 3 < ratio < 3, f"{name}: off by x{ratio:.2f}"

@@ -1,0 +1,76 @@
+"""Fig. 5: leakage-delay vs Vcut for floating polarity gates.
+
+Reproduces all six panels (INV/NAND2/XOR2 x pull-up t1 / pull-down t3)
+plus the per-panel fault-model classification of Section V-A.
+"""
+
+import math
+
+from repro.analysis import save_report
+from repro.analysis.experiments import experiment_fig5
+from repro.core.classify import ApplicableModel
+
+
+def test_fig5_vcut_leakage_delay(once):
+    sweeps, report = once(experiment_fig5, points=7)
+    print("\n" + report)
+    save_report("fig5_vcut_sweeps", report)
+
+    inv_t1_inj = sweeps[("INV", "t1", "pgs")]
+    inv_t1_exit = sweeps[("INV", "t1", "pgd")]
+    xor_t1 = sweeps[("XOR2", "t1", "pgs")]
+    xor_t1_both = sweeps[("XOR2", "t1", "both")]
+    xor_t3 = sweeps[("XOR2", "t3", "pgs")]
+    xor_t3_both = sweeps[("XOR2", "t3", "both")]
+    nand_t1_inj = sweeps[("NAND2", "t1", "pgs")]
+
+    # INV t1, injection-side float: delay grows with Vcut (paper: x7
+    # near Vcut ~ 0.56 V) until the gate stops switching (SOF band).
+    finite = [p for p in inv_t1_inj.points if math.isfinite(p.delay)]
+    delays = [p.delay for p in finite]
+    assert delays == sorted(delays)  # monotonic climb toward failure
+    assert any(math.isinf(p.delay) for p in inv_t1_inj.points)
+    classification = inv_t1_inj.classification()
+    assert ApplicableModel.SOF in classification.summary
+    assert classification.functional_limit is not None
+    assert 0.4 < classification.functional_limit <= 1.0
+
+    # INV t1, exit-side float: milder delay effect, leakage grows
+    # (paper: ~5x within the functional band).
+    assert inv_t1_exit.leakage_ratio() > 3
+
+    # NAND2 behaves like the INV (delay + SOF testable).
+    assert any(math.isinf(p.delay) for p in nand_t1_inj.points)
+
+    # XOR2 t1 (DP pull-up): the function keeps working — single-PG
+    # floats never fail, and the full polarity-terminal open stays
+    # functional over (almost) the whole sweep thanks to the weaker
+    # hole branch losing the contention.  Only leakage moves, by many
+    # decades (paper: 6 orders -> stuck-on/IDDQ testing only).
+    assert all(p.functional for p in xor_t1.points)
+    assert all(math.isfinite(p.delay) for p in xor_t1.points)
+    assert all(math.isfinite(p.delay) for p in xor_t1_both.points)
+    assert sum(p.functional for p in xor_t1_both.points) >= len(
+        xor_t1_both.points
+    ) - 1
+    # Leakage swing vs the fault-free gate (the 'both' open).
+    from repro.gates.builder import build_cell_circuit
+    from repro.gates.library import XOR2
+    from repro.spice.dc import solve_dc
+    import itertools
+
+    bench = build_cell_circuit(XOR2, fanout=4)
+    nominal = 0.0
+    for vector in itertools.product((0, 1), repeat=2):
+        bench.set_vector(vector)
+        nominal = max(
+            nominal, solve_dc(bench.circuit).supply_current("vdd")
+        )
+    swing = max(p.leakage for p in xor_t1_both.points) / nominal
+    assert swing > 1e4  # paper: ~6 orders; ours: >4 decades
+
+    # XOR2 t3 (DP pull-down): single-PG floats stay functional; the
+    # full open eventually breaks the gate (the INV-like trend of
+    # Fig. 5f: delay + SOF + stuck-on).
+    assert all(p.functional for p in xor_t3.points)
+    assert any(not p.functional for p in xor_t3_both.points)

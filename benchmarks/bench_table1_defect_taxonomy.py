@@ -1,0 +1,17 @@
+"""Table I: fabrication steps -> defect models, plus IFA site census."""
+
+from repro.analysis import save_report
+from repro.analysis.experiments import experiment_table1
+from repro.core.defects import FABRICATION_STEPS
+
+
+def test_table1_defect_taxonomy(once):
+    rows, report = once(experiment_table1)
+    print("\n" + report)
+    save_report("table1_defect_taxonomy", report)
+    # Shape checks against the paper's Table I.
+    assert len(rows) == len(FABRICATION_STEPS) == 5
+    assert "nanowire break" in rows[0][2]
+    assert "gate oxide short" in rows[2][2]
+    assert "bridge" in rows[3][2]
+    assert "floating gate" in rows[4][2]

@@ -1,0 +1,16 @@
+"""Table II: device parameters + calibrated model figures of merit."""
+
+from repro.analysis import save_report
+from repro.analysis.experiments import experiment_table2
+
+
+def test_table2_device_parameters(once):
+    rows, report = once(experiment_table2)
+    print("\n" + report)
+    save_report("table2_device_params", report)
+    values = dict(rows)
+    assert values["Length of Control Gate (LCG)"] == "22 nm"
+    assert values["Oxide Thickness (TOx)"] == "5.1 nm"
+    assert values["Radius of NanoWire (RNW)"] == "7.5 nm"
+    assert values["Schottky Barrier Height"] == "0.41 eV"
+    assert values["Length of Spacer (LCP)"] == "18 nm"

@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper, prints the
+reproduced rows/series, and persists the full report under
+``benchmarks/out/``.  The heavy computations run once per benchmark
+(``rounds=1``) — the value of these benches is the reproduction
+artefact plus a timing record, not statistical timing noise.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return runner

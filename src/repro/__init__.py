@@ -1,0 +1,20 @@
+"""repro: reproduction of "Fault Modeling in Controllable Polarity Silicon
+Nanowire Circuits" (Ghasemzadeh Mohammadi, Gaillardon, De Micheli — DATE
+2015).
+
+The package provides, from the bottom up:
+
+* :mod:`repro.device` — TIG-SiNWFET compact model + device-level defects,
+* :mod:`repro.tcad` — 1-D Poisson/drift-diffusion solver ("TCAD-lite"),
+* :mod:`repro.spice` — MNA circuit simulator (DC + transient),
+* :mod:`repro.gates` — controllable-polarity logic-gate library (Fig. 2),
+* :mod:`repro.logic` — switch-level and gate-level logic simulation,
+* :mod:`repro.core` — the paper's contribution: CP fault models,
+  inductive fault analysis, detectability analysis and test algorithms,
+* :mod:`repro.atpg` — PODEM ATPG, polarity-fault and stuck-open test
+  generation, fault simulation,
+* :mod:`repro.circuits` — benchmark circuits built from the CP library,
+* :mod:`repro.analysis` — experiment drivers for every paper table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,55 @@
+"""Experiment drivers and reporting for every paper table and figure."""
+
+from repro.analysis.atpg_experiments import (
+    CircuitCoverage,
+    classic_stuck_at_testset,
+    coverage_for,
+    experiment_atpg_coverage,
+)
+from repro.analysis.experiments import (
+    FIG5_PANELS,
+    experiment_fig3,
+    experiment_fig4,
+    experiment_fig5,
+    experiment_sec5c,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+)
+from repro.analysis.report import (
+    ascii_table,
+    format_quantity,
+    format_series,
+    save_report,
+)
+from repro.analysis.sweeps import (
+    VcutPoint,
+    VcutSweep,
+    pull_down_vcut_axis,
+    pull_up_vcut_axis,
+    vcut_sweep,
+)
+
+__all__ = [
+    "CircuitCoverage",
+    "FIG5_PANELS",
+    "VcutPoint",
+    "VcutSweep",
+    "ascii_table",
+    "classic_stuck_at_testset",
+    "coverage_for",
+    "experiment_atpg_coverage",
+    "experiment_fig3",
+    "experiment_fig4",
+    "experiment_fig5",
+    "experiment_sec5c",
+    "experiment_table1",
+    "experiment_table2",
+    "experiment_table3",
+    "format_quantity",
+    "format_series",
+    "pull_down_vcut_axis",
+    "pull_up_vcut_axis",
+    "save_report",
+    "vcut_sweep",
+]

@@ -1,0 +1,161 @@
+"""Circuit-scale ATPG experiments (the paper's claims at benchmark scale).
+
+The paper's thesis, lifted from single gates to circuits: classic
+stuck-at test sets do *not* cover the CP-specific faults (polarity
+bridges, DP channel breaks), while the new models make them testable.
+:func:`experiment_atpg_coverage` quantifies this on the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.report import ascii_table
+from repro.atpg.compaction import compact_tests
+from repro.atpg.fault_sim import (
+    parallel_stuck_at_simulation,
+    serial_polarity_simulation,
+)
+from repro.atpg.faults import (
+    polarity_faults,
+    stuck_at_faults,
+    stuck_open_faults,
+)
+from repro.atpg.iddq import select_iddq_vectors
+from repro.atpg.podem import generate_test
+from repro.atpg.polarity_atpg import run_polarity_atpg
+from repro.circuits.generators import build_benchmark
+from repro.logic.network import Network
+
+
+@dataclasses.dataclass
+class CircuitCoverage:
+    """Coverage summary for one benchmark circuit."""
+
+    name: str
+    n_gates: int
+    n_stuck_at: int
+    n_polarity: int
+    n_stuck_open: int
+    n_masked_opens: int
+    stuck_at_coverage: float
+    stuck_at_vectors: int
+    polarity_by_stuck_at_set: float
+    """Fraction of polarity faults the classic stuck-at set detects at
+    the outputs — the paper's 'current fault models are insufficient'."""
+    polarity_atpg_coverage: float
+    iddq_vectors: int
+    iddq_coverage: float
+
+
+def classic_stuck_at_testset(
+    network: Network, max_backtracks: int = 500
+) -> list[dict[str, int]]:
+    """PODEM + greedy compaction: the classic production test set."""
+    faults = stuck_at_faults(network)
+    vectors: list[dict[str, int]] = []
+    for fault in faults:
+        result = generate_test(network, fault, max_backtracks)
+        if result.success:
+            full = dict(result.vector)
+            for net in network.primary_inputs:
+                full.setdefault(net, 0)
+            vectors.append(full)
+    compacted = compact_tests(network, vectors, faults)
+    return compacted.vectors
+
+
+def coverage_for(network: Network) -> CircuitCoverage:
+    """Full coverage analysis of one circuit."""
+    sa_faults = stuck_at_faults(network)
+    pol_faults = polarity_faults(network)
+    sop_faults = stuck_open_faults(network)
+
+    test_set = classic_stuck_at_testset(network)
+    sa_result = parallel_stuck_at_simulation(network, sa_faults, test_set)
+
+    if pol_faults:
+        pol_by_sa = serial_polarity_simulation(
+            network, pol_faults, test_set
+        )
+        pol_atpg = run_polarity_atpg(network, pol_faults)
+        iddq = select_iddq_vectors(network, pol_faults)
+        pol_by_sa_cov = pol_by_sa.coverage
+        pol_atpg_cov = pol_atpg.coverage
+        iddq_vectors = len(iddq.vectors)
+        iddq_cov = iddq.coverage
+    else:
+        pol_by_sa_cov = float("nan")
+        pol_atpg_cov = float("nan")
+        iddq_vectors = 0
+        iddq_cov = float("nan")
+
+    masked = sum(1 for f in sop_faults if f.is_masked())
+    return CircuitCoverage(
+        name=network.name,
+        n_gates=len(network.gates),
+        n_stuck_at=len(sa_faults),
+        n_polarity=len(pol_faults),
+        n_stuck_open=len(sop_faults),
+        n_masked_opens=masked,
+        stuck_at_coverage=sa_result.coverage,
+        stuck_at_vectors=len(test_set),
+        polarity_by_stuck_at_set=pol_by_sa_cov,
+        polarity_atpg_coverage=pol_atpg_cov,
+        iddq_vectors=iddq_vectors,
+        iddq_coverage=iddq_cov,
+    )
+
+
+def experiment_atpg_coverage(
+    benchmark_names: tuple[str, ...] = (
+        "c17", "rca4", "parity8", "tmr_voter", "eq4", "alu_slice"
+    ),
+) -> tuple[list[CircuitCoverage], str]:
+    """Run the coverage study over the benchmark suite."""
+    results = [coverage_for(build_benchmark(n)) for n in benchmark_names]
+
+    def pct(x: float) -> str:
+        import math
+
+        return "n/a" if math.isnan(x) else f"{x * 100:.0f}%"
+
+    rows = [
+        (
+            r.name,
+            r.n_gates,
+            r.stuck_at_vectors,
+            pct(r.stuck_at_coverage),
+            r.n_polarity,
+            pct(r.polarity_by_stuck_at_set),
+            pct(r.polarity_atpg_coverage),
+            f"{r.iddq_vectors}",
+            r.n_masked_opens,
+            r.n_stuck_open,
+        )
+        for r in results
+    ]
+    report = [
+        "Circuit-scale coverage: classic stuck-at tests vs CP fault models",
+        ascii_table(
+            (
+                "circuit",
+                "gates",
+                "SA vecs",
+                "SA cov",
+                "pol faults",
+                "pol cov by SA set",
+                "pol cov (new ATPG)",
+                "IDDQ vecs",
+                "masked opens",
+                "opens",
+            ),
+            rows,
+        ),
+        "",
+        "Reading: the classic stuck-at set leaves most polarity faults",
+        "undetected at the outputs; the polarity-aware ATPG (voltage +",
+        "IDDQ modes) closes the gap, and every DP-gate open is masked,",
+        "requiring the paper's channel-break procedure.",
+    ]
+    return results, "\n".join(report)

@@ -1,0 +1,516 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each function runs the complete measurement and returns a structured
+result plus a rendered text report; the ``benchmarks/`` directory calls
+these and persists the reports under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+
+import numpy as np
+
+from repro.analysis.report import ascii_table, format_quantity
+from repro.analysis.sweeps import (
+    VcutSweep,
+    pull_down_vcut_axis,
+    pull_up_vcut_axis,
+    vcut_sweep,
+)
+from repro.core.defects import enumerate_defect_sites, table_i_rows
+from repro.core.fault_models import (
+    ChannelBreakFault,
+    StuckAtNType,
+    StuckAtPType,
+)
+from repro.core.test_algorithms import (
+    run_channel_break_procedure,
+    simulate_two_pattern,
+    two_pattern_sof_tests,
+)
+from repro.device import (
+    CurveMetrics,
+    GateOxideShort,
+    TIGSiNWFET,
+    compare_to_fault_free,
+    sweep_id_vcg,
+    table_ii_rows,
+)
+from repro.gates.builder import build_cell_circuit
+from repro.gates.characterize import transition_delay
+from repro.gates.library import ALL_CELLS, INV, NAND2, XOR2
+from repro.spice.dc import solve_dc
+from repro.spice.measure import logic_level
+from repro.tcad.profiles import figure4_summary
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+def experiment_table1() -> tuple[list[tuple[str, str, str]], str]:
+    """Table I + per-cell defect-site counts from the IFA enumeration."""
+    rows = table_i_rows()
+    report = [
+        "Table I: TIG-SiNWFET fabrication steps and defect models",
+        ascii_table(("Process", "Outcome", "Possible defects"), rows),
+        "",
+        "Defect-site enumeration over the Fig. 2 gate library:",
+    ]
+    count_rows = []
+    for name, cell in sorted(ALL_CELLS.items()):
+        sites = enumerate_defect_sites(cell)
+        by_mech: dict[str, int] = {}
+        for s in sites:
+            key = s.mechanism.value
+            by_mech[key] = by_mech.get(key, 0) + 1
+        count_rows.append(
+            (
+                name,
+                len(cell.transistors),
+                len(sites),
+                by_mech.get("nanowire break", 0),
+                by_mech.get("gate oxide short", 0),
+                by_mech.get("bridge between two or more terminals", 0),
+                by_mech.get("floating gate", 0),
+            )
+        )
+    report.append(
+        ascii_table(
+            ("cell", "transistors", "sites", "breaks", "GOS",
+             "terminal bridges", "floats"),
+            count_rows,
+        )
+    )
+    return rows, "\n".join(report)
+
+
+# ---------------------------------------------------------------------------
+# Table II
+# ---------------------------------------------------------------------------
+
+def experiment_table2() -> tuple[list[tuple[str, str]], str]:
+    """Table II parameters + derived electrical figures of merit."""
+    rows = table_ii_rows()
+    device = TIGSiNWFET()
+    metrics = CurveMetrics.from_curve(sweep_id_vcg(device, "n"))
+    report = [
+        "Table II: TIG-SiNWFET structural and physical parameters",
+        ascii_table(("Device Parameter", "Value"), rows),
+        "",
+        "Derived electrical metrics of the calibrated compact model:",
+        f"  Ion (n-config, VDS=VDD)   : "
+        f"{format_quantity(metrics.id_sat, 'A')}",
+        f"  VTh (constant-current)    : {metrics.vth:.3f} V",
+        f"  Subthreshold slope        : {metrics.ss * 1e3:.0f} mV/dec",
+        f"  On/off ratio (CG sweep)   : {metrics.on_off:.2e}",
+    ]
+    return rows, "\n".join(report)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Fig3Case:
+    label: str
+    v_cg: np.ndarray
+    i_d: np.ndarray
+    id_sat_ratio: float
+    delta_vth: float
+    i_min: float
+
+
+def experiment_fig3() -> tuple[list[Fig3Case], str]:
+    """Fig. 3: n-type transfer curves, fault-free vs GOS at each gate."""
+    reference = TIGSiNWFET()
+    ref_curve = sweep_id_vcg(reference, "n")
+    cases = [
+        Fig3Case(
+            label="fault-free",
+            v_cg=ref_curve.v_cg,
+            i_d=np.asarray(ref_curve.i_d),
+            id_sat_ratio=1.0,
+            delta_vth=0.0,
+            i_min=float(np.min(ref_curve.i_d)),
+        )
+    ]
+    for loc in ("pgs", "cg", "pgd"):
+        device = TIGSiNWFET(defect=GateOxideShort(loc))
+        curve = sweep_id_vcg(device, "n")
+        numbers = compare_to_fault_free(device, reference)
+        cases.append(
+            Fig3Case(
+                label=f"GOS on {loc.upper()}",
+                v_cg=curve.v_cg,
+                i_d=np.asarray(curve.i_d),
+                id_sat_ratio=numbers["id_sat_ratio"],
+                delta_vth=numbers["delta_vth"],
+                i_min=numbers["i_min"],
+            )
+        )
+    rows = [
+        (
+            c.label,
+            format_quantity(float(c.i_d[-1]), "A"),
+            f"{c.id_sat_ratio:.3f}",
+            f"{c.delta_vth * 1e3:+.0f} mV",
+            format_quantity(c.i_min, "A"),
+        )
+        for c in cases
+    ]
+    report = [
+        "Fig. 3: GOS impact on the n-type transfer characteristic",
+        ascii_table(
+            ("case", "ID(SAT)", "ratio vs FF", "dVTh", "min ID"), rows
+        ),
+        "",
+        "Paper anchors: GOS@PGS strongest ID(SAT) drop with dVTh ~ +170 mV;",
+        "GOS@CG milder drop, negative ID at low VCG; GOS@PGD slight",
+        "increase, no shift.",
+    ]
+    return cases, "\n".join(report)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4
+# ---------------------------------------------------------------------------
+
+def experiment_fig4(nodes_per_segment: int = 40):
+    """Fig. 4: channel electron densities from the TCAD-lite solver."""
+    summary = figure4_summary(nodes_per_segment)
+    rows = []
+    for name, case in summary.items():
+        rows.append(
+            (
+                name,
+                f"{case.density_cm3:.3e}",
+                f"{case.reference_cm3:.3e}",
+                f"x{case.density_cm3 / case.reference_cm3:.2f}",
+            )
+        )
+    report = [
+        "Fig. 4: electron density of an n-configured TIG-SiNWFET",
+        "(1-D Poisson/drift-diffusion; GOS = gate plug pinning + carrier",
+        " absorption sink; density over the defect-affected section)",
+        ascii_table(
+            ("case", "density [cm^-3]", "paper", "ratio"), rows
+        ),
+    ]
+    return summary, "\n".join(report)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5
+# ---------------------------------------------------------------------------
+
+FIG5_PANELS = (
+    ("INV", "t1", "pgs"),
+    ("INV", "t1", "pgd"),
+    ("NAND2", "t1", "pgs"),
+    ("NAND2", "t1", "pgd"),
+    ("XOR2", "t1", "pgs"),
+    ("XOR2", "t1", "pgd"),
+    ("XOR2", "t1", "both"),
+    ("INV", "t3", "pgs"),
+    ("INV", "t3", "pgd"),
+    ("NAND2", "t3", "pgs"),
+    ("NAND2", "t3", "pgd"),
+    ("XOR2", "t3", "pgs"),
+    ("XOR2", "t3", "pgd"),
+    ("XOR2", "t3", "both"),
+)
+
+
+def experiment_fig5(
+    points: int = 8,
+) -> tuple[dict[tuple[str, str, str], VcutSweep], str]:
+    """Fig. 5: leakage-delay vs Vcut for floating polarity gates.
+
+    Panels a-c sweep the pull-up transistor t1 (nominal PG bias 0 for SP
+    gates), panels d-f the pull-down t3 (nominal bias VDD); each panel
+    carries separate PGS and PGD curves, as in the paper's figure.
+    """
+    sweeps: dict[tuple[str, str, str], VcutSweep] = {}
+    lines = ["Fig. 5: leakage-delay variation vs Vcut (FO4 loads)"]
+    for cell_name, transistor, terminal in FIG5_PANELS:
+        cell = ALL_CELLS[cell_name]
+        role = cell.transistor(transistor).role
+        axis = (
+            pull_up_vcut_axis(points=points)
+            if role == "pull_up"
+            else pull_down_vcut_axis(points=points)
+        )
+        sweep = vcut_sweep(cell, transistor, terminal, axis)
+        sweeps[(cell_name, transistor, terminal)] = sweep
+        classification = sweep.classification()
+        lines.append("")
+        lines.append(
+            f"-- {cell_name} {transistor} (float {terminal}); "
+            f"{classification.describe()}"
+        )
+        rows = [
+            (
+                f"{p.vcut:.2f}",
+                "inf" if math.isinf(p.delay) else f"{p.delay * 1e12:.1f}",
+                format_quantity(p.leakage, "A"),
+                "yes" if p.functional else "NO",
+            )
+            for p in sweep.points
+        ]
+        lines.append(
+            ascii_table(
+                ("Vcut [V]", "delay [ps]", "leakage", "functional"), rows
+            )
+        )
+    return sweeps, "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table III (SPICE level)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class TableIIIRow:
+    fault_type: str
+    transistor: str
+    vector: tuple[int, int] | None
+    leakage_detect: bool
+    output_detect: bool
+    iddq_ratio: float
+    v_out: float
+    v_out_good: float
+
+
+def experiment_table3(iddq_threshold: float = 10.0):
+    """Table III: stuck-at n/p detectability on the XOR2.
+
+    Two views are produced, matching how the paper builds the table:
+
+    * the **logic-level** detectability from the switch-level engine with
+      drive-strength resolution (the fault-model view — reproduces the
+      paper's rows), and
+    * the **SPICE** measurement: faulty output voltage and IDDQ ratio at
+      the detecting vector (the quantitative evidence).
+    """
+    from repro.core.test_algorithms import polarity_fault_table
+
+    logic_rows = polarity_fault_table(XOR2)
+
+    rows: list[TableIIIRow] = []
+    good_bench = build_cell_circuit(XOR2, fanout=4)
+    good: dict[tuple[int, int], tuple[int | None, float, float]] = {}
+    for vector in itertools.product((0, 1), repeat=2):
+        good_bench.set_vector(vector)
+        op = solve_dc(good_bench.circuit)
+        good[vector] = (
+            logic_level(op.voltage("out"), good_bench.vdd),
+            op.supply_current("vdd"),
+            op.voltage("out"),
+        )
+    factories = {
+        "stuck-at n-type": StuckAtNType,
+        "stuck-at p-type": StuckAtPType,
+    }
+    for logic_row in logic_rows:
+        factory = factories[logic_row.fault_type]
+        vector = logic_row.detecting_vector
+        bench = build_cell_circuit(XOR2, fanout=4)
+        factory(logic_row.transistor).apply(bench)
+        bench.set_vector(vector)
+        op = solve_dc(bench.circuit)
+        level = logic_level(op.voltage("out"), bench.vdd)
+        ratio = op.supply_current("vdd") / max(good[vector][1], 1e-15)
+        rows.append(
+            TableIIIRow(
+                fault_type=logic_row.fault_type,
+                transistor=logic_row.transistor,
+                vector=vector,
+                leakage_detect=ratio > iddq_threshold,
+                output_detect=(
+                    level is not None and level != good[vector][0]
+                ),
+                iddq_ratio=ratio,
+                v_out=op.voltage("out"),
+                v_out_good=good[vector][2],
+            )
+        )
+
+    logic_table = [
+        (
+            r.fault_type,
+            r.transistor,
+            "".join(map(str, r.detecting_vector))
+            if r.detecting_vector
+            else "-",
+            "Yes" if r.leakage_detect else "No",
+            "Yes" if r.output_detect else "No",
+        )
+        for r in logic_rows
+    ]
+    spice_table = [
+        (
+            r.fault_type,
+            r.transistor,
+            "".join(map(str, r.vector)),
+            f"{r.v_out_good:.2f} -> {r.v_out:.2f} V",
+            "Yes" if r.leakage_detect else "No",
+            f"{r.iddq_ratio:.1e}",
+        )
+        for r in rows
+    ]
+    report = [
+        "Table III: polarity-defect detection on the 2-input XOR",
+        "",
+        "(a) Logic-level fault model (switch level, strength-resolved):",
+        ascii_table(
+            (
+                "Fault type",
+                "Location",
+                "Input for detection",
+                "Leakage current",
+                "Output voltage",
+            ),
+            logic_table,
+        ),
+        "",
+        "(b) SPICE measurement at the detecting vector:",
+        ascii_table(
+            (
+                "Fault type",
+                "Location",
+                "Input",
+                "output voltage",
+                "IDDQ detect",
+                "IDDQ ratio",
+            ),
+            spice_table,
+        ),
+        "",
+        "Paper rows (stuck-at n-type): t1@00 leak-only, t2@11 leak-only,",
+        "t3@01 leak+output, t4@10 leak+output — matched exactly by (a).",
+        "Stuck-at p-type rows match up to the symmetric pair relabeling",
+        "t1<->t2 / t3<->t4; see EXPERIMENTS.md for the SPICE-level",
+        "indeterminate-band discussion.",
+    ]
+    return rows, "\n".join(report)
+
+
+# ---------------------------------------------------------------------------
+# Section V-C: channel break
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class BreakObservation:
+    transistor: str
+    functional: bool
+    delay_change: float
+    leakage_change: float
+    procedure_detects_break: bool
+    procedure_false_alarm: bool
+
+
+def experiment_sec5c():
+    """Section V-C: channel-break masking in the DP XOR2 + the new
+    detection procedure + the SP NAND2 two-pattern SOF set."""
+    vdd = 1.2
+    good_bench = build_cell_circuit(XOR2, fanout=4)
+    good_delay = transition_delay(good_bench, "a", {"b": 0})
+    good_leak = 0.0
+    for vector in itertools.product((0, 1), repeat=2):
+        good_bench.set_vector(vector)
+        good_leak = max(
+            good_leak, solve_dc(good_bench.circuit).supply_current("vdd")
+        )
+
+    observations: list[BreakObservation] = []
+    for transistor in ("t1", "t2", "t3", "t4"):
+        bench = build_cell_circuit(XOR2, fanout=4)
+        ChannelBreakFault(transistor).apply(bench)
+        functional = True
+        leak = 0.0
+        reference = XOR2.truth_table()
+        for vector in itertools.product((0, 1), repeat=2):
+            bench.set_vector(vector)
+            op = solve_dc(bench.circuit)
+            leak = max(leak, op.supply_current("vdd"))
+            if logic_level(op.voltage("out"), vdd) != reference[vector]:
+                functional = False
+        delay = transition_delay(bench, "a", {"b": 0})
+        observations.append(
+            BreakObservation(
+                transistor=transistor,
+                functional=functional,
+                delay_change=(delay - good_delay) / good_delay,
+                leakage_change=(leak - good_leak) / good_leak,
+                procedure_detects_break=run_channel_break_procedure(
+                    XOR2, transistor, broken=True
+                ),
+                procedure_false_alarm=run_channel_break_procedure(
+                    XOR2, transistor, broken=False
+                ),
+            )
+        )
+
+    sof_tests = two_pattern_sof_tests(NAND2)
+    sof_rows = []
+    for test in sof_tests:
+        for target in test.covered:
+            _init, final = simulate_two_pattern(NAND2, test, target)
+            expected = NAND2.function(test.test_vector)
+            sof_rows.append(
+                (
+                    "".join(map(str, test.init_vector))
+                    + " -> "
+                    + "".join(map(str, test.test_vector)),
+                    target,
+                    "detects" if final != expected else "MISSES",
+                )
+            )
+    xor_sof = two_pattern_sof_tests(XOR2)
+    inv_sof = two_pattern_sof_tests(INV)
+
+    rows = [
+        (
+            o.transistor,
+            "yes" if o.functional else "NO",
+            f"{o.delay_change * 100:+.0f}%",
+            f"{o.leakage_change * 100:+.0f}%",
+            "yes" if o.procedure_detects_break else "NO",
+            "yes" if o.procedure_false_alarm else "no",
+        )
+        for o in observations
+    ]
+    report = [
+        "Section V-C: channel break in the DP XOR2 (FO4)",
+        ascii_table(
+            (
+                "broken",
+                "still functional",
+                "d(delay)",
+                "d(leakage)",
+                "procedure detects",
+                "false alarm",
+            ),
+            rows,
+        ),
+        "",
+        "Paper: all single breaks masked; d(leakage) <= 100%, "
+        "d(delay) <= 58%.",
+        "",
+        "Two-pattern SOF tests (SP gates):",
+        f"  INV:   {[t.describe() for t in inv_sof]}",
+        f"  NAND2: {[t.describe() for t in sof_tests]}",
+        "  paper NAND2 set: 11->01, 11->10, 00->11 (equivalent cover; our",
+        "  generator prefers the hazard-free single-input-change init).",
+        f"  XOR2:  {len(xor_sof)} usable two-pattern tests "
+        "(masked -> needs the new procedure)",
+        "",
+        "Two-pattern verification on NAND2:",
+        ascii_table(("test pair", "broken transistor", "result"), sof_rows),
+    ]
+    return observations, "\n".join(report)

@@ -1,0 +1,68 @@
+"""ATPG: PODEM stuck-at test generation, polarity-fault ATPG, two-pattern
+stuck-open ATPG, fault simulation, IDDQ selection and compaction."""
+
+from repro.atpg.compaction import CompactionResult, compact_tests
+from repro.atpg.fault_sim import (
+    FaultSimResult,
+    detects_polarity,
+    detects_stuck_at,
+    detects_stuck_open,
+    parallel_stuck_at_simulation,
+    serial_polarity_simulation,
+)
+from repro.atpg.faults import (
+    PolarityFault,
+    StuckAtFault,
+    StuckOpenFault,
+    polarity_faults,
+    stuck_at_faults,
+    stuck_open_faults,
+)
+from repro.atpg.iddq import IddqSelection, select_iddq_vectors
+from repro.atpg.podem import (
+    PodemResult,
+    generate_test,
+    justify_and_propagate,
+)
+from repro.atpg.polarity_atpg import (
+    PolarityAtpgResult,
+    PolarityTest,
+    generate_polarity_test,
+    run_polarity_atpg,
+)
+from repro.atpg.sof_atpg import (
+    SofAtpgResult,
+    StuckOpenTest,
+    generate_stuck_open_test,
+    run_sof_atpg,
+)
+
+__all__ = [
+    "CompactionResult",
+    "FaultSimResult",
+    "IddqSelection",
+    "PodemResult",
+    "PolarityAtpgResult",
+    "PolarityFault",
+    "PolarityTest",
+    "SofAtpgResult",
+    "StuckAtFault",
+    "StuckOpenFault",
+    "StuckOpenTest",
+    "compact_tests",
+    "detects_polarity",
+    "detects_stuck_at",
+    "detects_stuck_open",
+    "generate_polarity_test",
+    "generate_stuck_open_test",
+    "generate_test",
+    "justify_and_propagate",
+    "parallel_stuck_at_simulation",
+    "polarity_faults",
+    "run_polarity_atpg",
+    "run_sof_atpg",
+    "select_iddq_vectors",
+    "serial_polarity_simulation",
+    "stuck_at_faults",
+    "stuck_open_faults",
+]

@@ -1,0 +1,75 @@
+"""Test-set compaction (greedy set cover over a detection matrix)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.atpg.fault_sim import parallel_stuck_at_simulation
+from repro.atpg.faults import StuckAtFault
+from repro.logic.network import Network
+
+
+@dataclasses.dataclass
+class CompactionResult:
+    """Outcome of compaction.
+
+    Attributes:
+        kept: Indices (into the original test list) of retained tests.
+        vectors: The retained tests themselves.
+        coverage: Stuck-at coverage of the compacted set.
+    """
+
+    kept: list[int]
+    vectors: list[dict[str, int]]
+    coverage: float
+
+
+def compact_tests(
+    network: Network,
+    tests: Sequence[Mapping[str, int]],
+    faults: Sequence[StuckAtFault],
+) -> CompactionResult:
+    """Greedy compaction: keep the minimal-ish subset of ``tests`` that
+    preserves the original stuck-at coverage."""
+    full = [dict(t) for t in tests]
+    for t in full:
+        for net in network.primary_inputs:
+            t.setdefault(net, 0)
+
+    # Per-test detection sets via bit-parallel simulation, one test at a
+    # time (cheap: the fault list dominates).
+    detection_sets: list[set[str]] = []
+    for t in full:
+        result = parallel_stuck_at_simulation(network, faults, [t])
+        detection_sets.append(set(result.detected))
+
+    target: set[str] = set()
+    for s in detection_sets:
+        target |= s
+
+    remaining = set(target)
+    kept: list[int] = []
+    while remaining:
+        best, best_gain = None, 0
+        for k, s in enumerate(detection_sets):
+            if k in kept:
+                continue
+            gain = len(s & remaining)
+            if gain > best_gain:
+                best, best_gain = k, gain
+        if best is None:
+            break
+        kept.append(best)
+        remaining -= detection_sets[best]
+
+    kept.sort()
+    covered: set[str] = set()
+    for k in kept:
+        covered |= detection_sets[k]
+    coverage = len(covered) / len(faults) if faults else 1.0
+    return CompactionResult(
+        kept=kept,
+        vectors=[full[k] for k in kept],
+        coverage=coverage,
+    )

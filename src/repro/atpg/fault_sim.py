@@ -1,0 +1,276 @@
+"""Fault simulation: serial ternary, parallel-pattern bitwise, and
+two-pattern stuck-open simulation."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.atpg.faults import (
+    PolarityFault,
+    StuckAtFault,
+    StuckOpenFault,
+)
+from repro.gates.library import ALL_CELLS
+from repro.logic.network import Network
+from repro.logic.simulator import simulate_outputs, vectors_differ
+from repro.logic.switch_level import DeviceState, evaluate
+from repro.logic.values import X, Z
+
+
+TestVector = Mapping[str, int]
+
+
+def detects_stuck_at(
+    network: Network, fault: StuckAtFault, vector: TestVector
+) -> bool:
+    """Serial check: does ``vector`` detect ``fault`` at the outputs?"""
+    good = simulate_outputs(network, vector)
+    bad = simulate_outputs(network, vector, **fault.overrides())
+    return vectors_differ(good, bad)
+
+
+def detects_polarity(
+    network: Network,
+    fault: PolarityFault,
+    vector: TestVector,
+    iddq: bool = False,
+) -> bool:
+    """Does ``vector`` detect a polarity fault?
+
+    Voltage mode compares primary outputs; IDDQ mode checks whether the
+    vector drives the faulty gate into one of its conflict (elevated
+    leakage) input combinations.
+    """
+    if iddq:
+        values = {}
+        good = simulate_outputs(network, vector)  # also fills net values
+        del good
+        from repro.logic.simulator import simulate
+
+        values = simulate(network, vector)
+        gate = network.gates[fault.gate]
+        local = tuple(values[n] for n in gate.inputs)
+        if any(v not in (0, 1) for v in local):
+            return False
+        return local in fault.iddq_vectors()
+    good = simulate_outputs(network, vector)
+    bad = simulate_outputs(network, vector, **fault.overrides())
+    return vectors_differ(good, bad)
+
+
+def detects_stuck_open(
+    network: Network,
+    fault: StuckOpenFault,
+    init_vector: TestVector,
+    test_vector: TestVector,
+) -> bool:
+    """Two-pattern stuck-open detection.
+
+    The faulty gate's output under the test pattern floats (retaining
+    the init-pattern value) whenever the broken transistor was the only
+    conducting path; the retained value then propagates like any logic
+    difference.
+    """
+    cell = ALL_CELLS[fault.gtype]
+    from repro.logic.simulator import simulate
+
+    # First pattern: the broken gate still drives (possibly through the
+    # healthy partner network); compute its local output.
+    def faulty_gate_override(previous: dict):
+        def override(gate, pins) -> int:
+            key = tuple(pins)
+            if any(p not in (0, 1) for p in key):
+                return X
+            result = evaluate(
+                cell,
+                key,
+                {fault.transistor: DeviceState.STUCK_OPEN},
+                previous_output=previous.get("value", X),
+            )
+            out = result.output
+            if out == Z:
+                out = previous.get("value", X)
+            previous["value"] = out
+            return out
+
+        return override
+
+    state: dict = {}
+    override = faulty_gate_override(state)
+    simulate(
+        network, init_vector, gate_overrides={fault.gate: override}
+    )
+    bad = simulate_outputs(
+        network, test_vector, gate_overrides={fault.gate: override}
+    )
+    good = simulate_outputs(network, test_vector)
+    return vectors_differ(good, bad)
+
+
+# ---------------------------------------------------------------------------
+# Parallel-pattern stuck-at fault simulation (64 patterns per word)
+# ---------------------------------------------------------------------------
+
+_WORD_BITS = 64
+
+
+def _pack_patterns(
+    network: Network, vectors: Sequence[TestVector]
+) -> dict[str, int]:
+    packed: dict[str, int] = {}
+    for net in network.primary_inputs:
+        word = 0
+        for k, vector in enumerate(vectors):
+            if vector.get(net, 0) == 1:
+                word |= 1 << k
+        packed[net] = word
+    return packed
+
+
+def _eval_packed(gtype: str, pins: list[int], mask: int) -> int:
+    a = pins[0]
+    if gtype == "BUF":
+        return a
+    if gtype == "INV":
+        return ~a & mask
+    if gtype in ("AND2", "AND3"):
+        out = a
+        for p in pins[1:]:
+            out &= p
+        return out
+    if gtype in ("OR2", "OR3"):
+        out = a
+        for p in pins[1:]:
+            out |= p
+        return out
+    if gtype in ("NAND2", "NAND3"):
+        out = a
+        for p in pins[1:]:
+            out &= p
+        return ~out & mask
+    if gtype in ("NOR2", "NOR3"):
+        out = a
+        for p in pins[1:]:
+            out |= p
+        return ~out & mask
+    if gtype in ("XOR2", "XOR3"):
+        out = a
+        for p in pins[1:]:
+            out ^= p
+        return out
+    if gtype == "XNOR2":
+        return ~(a ^ pins[1]) & mask
+    if gtype == "MAJ3":
+        b, c = pins[1], pins[2]
+        return (a & b) | (b & c) | (a & c)
+    if gtype == "MIN3":
+        b, c = pins[1], pins[2]
+        return ~((a & b) | (b & c) | (a & c)) & mask
+    raise ValueError(f"unknown gate type {gtype!r}")
+
+
+def _simulate_packed(
+    network: Network,
+    packed_inputs: dict[str, int],
+    mask: int,
+    fault: StuckAtFault | None = None,
+) -> dict[str, int]:
+    stuck_word = None
+    if fault is not None:
+        stuck_word = mask if fault.value == 1 else 0
+    values: dict[str, int] = {}
+    for net in network.primary_inputs:
+        word = packed_inputs.get(net, 0)
+        if fault is not None and not fault.is_branch and fault.net == net:
+            word = stuck_word
+        values[net] = word
+    for gate in network.levelized():
+        pins = []
+        for k, net in enumerate(gate.inputs):
+            word = values[net]
+            if (
+                fault is not None
+                and fault.is_branch
+                and fault.gate == gate.name
+                and fault.pin == k
+            ):
+                word = stuck_word
+            pins.append(word)
+        out = _eval_packed(gate.gtype, pins, mask)
+        if fault is not None and not fault.is_branch and (
+            fault.net == gate.output
+        ):
+            out = stuck_word
+        values[gate.output] = out
+    return values
+
+
+@dataclasses.dataclass
+class FaultSimResult:
+    """Coverage summary of a fault-simulation campaign.
+
+    Attributes:
+        detected: Fault name -> index of the first detecting test.
+        undetected: Names of faults no test detected.
+        coverage: detected / total.
+    """
+
+    detected: dict[str, int]
+    undetected: list[str]
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.detected) + len(self.undetected)
+        return len(self.detected) / total if total else 1.0
+
+
+def parallel_stuck_at_simulation(
+    network: Network,
+    faults: Sequence[StuckAtFault],
+    vectors: Sequence[TestVector],
+) -> FaultSimResult:
+    """Bit-parallel stuck-at fault simulation (64 patterns per pass)."""
+    detected: dict[str, int] = {}
+    undetected = {f.name for f in faults}
+    po = network.primary_outputs
+    for base in range(0, len(vectors), _WORD_BITS):
+        chunk = vectors[base:base + _WORD_BITS]
+        mask = (1 << len(chunk)) - 1
+        packed = _pack_patterns(network, chunk)
+        good = _simulate_packed(network, packed, mask)
+        for fault in faults:
+            if fault.name not in undetected:
+                continue
+            bad = _simulate_packed(network, packed, mask, fault)
+            diff = 0
+            for net in po:
+                diff |= good[net] ^ bad[net]
+            if diff:
+                first = (diff & -diff).bit_length() - 1
+                detected[fault.name] = base + first
+                undetected.discard(fault.name)
+    return FaultSimResult(
+        detected=detected, undetected=sorted(undetected)
+    )
+
+
+def serial_polarity_simulation(
+    network: Network,
+    faults: Sequence[PolarityFault],
+    vectors: Sequence[TestVector],
+    iddq: bool = False,
+) -> FaultSimResult:
+    """Serial polarity-fault simulation (voltage or IDDQ observables)."""
+    detected: dict[str, int] = {}
+    undetected = {f.name for f in faults}
+    for k, vector in enumerate(vectors):
+        for fault in faults:
+            if fault.name not in undetected:
+                continue
+            if detects_polarity(network, fault, vector, iddq=iddq):
+                detected[fault.name] = k
+                undetected.discard(fault.name)
+    return FaultSimResult(
+        detected=detected, undetected=sorted(undetected)
+    )

@@ -1,0 +1,108 @@
+"""IDDQ test selection for polarity faults.
+
+Section V-B: pull-up polarity faults are observable only through supply
+current.  This module selects a compact set of vectors such that every
+polarity fault is driven into (at least) one of its conflict-activating
+local input combinations — a classic set-cover problem solved greedily.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.atpg.fault_sim import detects_polarity
+from repro.atpg.faults import PolarityFault, polarity_faults
+from repro.atpg.polarity_atpg import generate_polarity_test
+from repro.logic.network import Network
+
+
+@dataclasses.dataclass
+class IddqSelection:
+    """A compact IDDQ vector set.
+
+    Attributes:
+        vectors: Selected PI vectors (fully specified).
+        covered: Fault name -> index of the covering vector.
+        uncovered: Faults no generated vector could activate.
+    """
+
+    vectors: list[dict[str, int]]
+    covered: dict[str, int]
+    uncovered: list[str]
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.covered) + len(self.uncovered)
+        return len(self.covered) / total if total else 1.0
+
+
+def _fill(network: Network, vector: dict[str, int]) -> dict[str, int]:
+    full = dict(vector)
+    for net in network.primary_inputs:
+        full.setdefault(net, 0)
+    return full
+
+
+def select_iddq_vectors(
+    network: Network,
+    faults: list[PolarityFault] | None = None,
+    max_backtracks: int = 300,
+) -> IddqSelection:
+    """Generate candidate vectors per fault, then greedily compact.
+
+    Candidate generation goes through the justification-only ATPG; the
+    greedy pass then keeps the subset of vectors that still covers every
+    coverable fault, largest marginal gain first.
+    """
+    if faults is None:
+        faults = polarity_faults(network)
+
+    candidates: list[dict[str, int]] = []
+    fault_of_candidate: list[str] = []
+    uncovered_names: list[str] = []
+    for fault in faults:
+        test = generate_polarity_test(
+            network, fault, allow_iddq=True, max_backtracks=max_backtracks
+        )
+        if test is None:
+            uncovered_names.append(fault.name)
+            continue
+        candidates.append(_fill(network, test.vector))
+        fault_of_candidate.append(fault.name)
+
+    # Detection matrix: candidate index -> set of covered fault names.
+    coverable = [f for f in faults if f.name not in set(uncovered_names)]
+    matrix: list[set[str]] = []
+    for vector in candidates:
+        covered = {
+            f.name
+            for f in coverable
+            if detects_polarity(network, f, vector, iddq=True)
+            or detects_polarity(network, f, vector, iddq=False)
+        }
+        matrix.append(covered)
+
+    remaining = {f.name for f in coverable}
+    chosen: list[int] = []
+    while remaining:
+        best, best_gain = None, 0
+        for k, covered in enumerate(matrix):
+            gain = len(covered & remaining)
+            if gain > best_gain:
+                best, best_gain = k, gain
+        if best is None:
+            uncovered_names.extend(sorted(remaining))
+            break
+        chosen.append(best)
+        remaining -= matrix[best]
+
+    vectors = [candidates[k] for k in chosen]
+    covered: dict[str, int] = {}
+    for order, k in enumerate(chosen):
+        for name in matrix[k]:
+            covered.setdefault(name, order)
+    return IddqSelection(
+        vectors=vectors,
+        covered=covered,
+        uncovered=sorted(set(uncovered_names)),
+    )

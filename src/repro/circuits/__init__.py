@@ -1,0 +1,27 @@
+"""Benchmark circuits built from the CP cell library."""
+
+from repro.circuits.generators import (
+    BENCHMARK_BUILDERS,
+    C17_BENCH,
+    alu_bit_slice,
+    build_benchmark,
+    c17,
+    equality_comparator,
+    majority_voter,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+)
+
+__all__ = [
+    "BENCHMARK_BUILDERS",
+    "C17_BENCH",
+    "alu_bit_slice",
+    "build_benchmark",
+    "c17",
+    "equality_comparator",
+    "majority_voter",
+    "mux_tree",
+    "parity_tree",
+    "ripple_carry_adder",
+]

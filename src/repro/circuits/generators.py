@@ -1,0 +1,235 @@
+"""Benchmark circuit generators built from the CP cell library.
+
+The generators favour the XOR/MAJ-rich structures that controllable-
+polarity technology targets (the paper's Fig. 2 gates): full adders as
+XOR3 + MAJ3 pairs, parity trees from XOR2/XOR3, TMR majority voters,
+and the classic c17 control benchmark for ATPG regression.
+"""
+
+from __future__ import annotations
+
+from repro.logic.bench_format import parse_bench
+from repro.logic.network import Network
+
+C17_BENCH = """
+# ISCAS-85 c17 (NAND2-only control benchmark)
+INPUT(g1)
+INPUT(g2)
+INPUT(g3)
+INPUT(g6)
+INPUT(g7)
+OUTPUT(g22)
+OUTPUT(g23)
+g10 = NAND2(g1, g3)
+g11 = NAND2(g3, g6)
+g16 = NAND2(g2, g11)
+g19 = NAND2(g11, g7)
+g22 = NAND2(g10, g16)
+g23 = NAND2(g16, g19)
+"""
+
+
+def c17() -> Network:
+    """The ISCAS-85 c17 benchmark (6 NAND2 gates)."""
+    return parse_bench(C17_BENCH, name="c17")
+
+
+def ripple_carry_adder(width: int) -> Network:
+    """An n-bit ripple-carry adder from XOR3 (sum) + MAJ3 (carry) cells.
+
+    This is the canonical CP-technology arithmetic structure: one TIG
+    XOR3 and one TIG MAJ3 per full adder.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    network = Network(f"rca{width}")
+    for k in range(width):
+        network.add_input(f"a{k}")
+        network.add_input(f"b{k}")
+    network.add_input("cin")
+    carry = "cin"
+    for k in range(width):
+        network.add_gate(
+            f"fa{k}_sum", "XOR3", [f"a{k}", f"b{k}", carry], f"s{k}"
+        )
+        network.add_gate(
+            f"fa{k}_carry", "MAJ3", [f"a{k}", f"b{k}", carry], f"c{k}"
+        )
+        network.add_output(f"s{k}")
+        carry = f"c{k}"
+    network.add_output(carry)
+    network.validate()
+    return network
+
+
+def parity_tree(width: int) -> Network:
+    """Even-parity generator over ``width`` bits from XOR3/XOR2 cells."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    network = Network(f"parity{width}")
+    for k in range(width):
+        network.add_input(f"d{k}")
+    level = [f"d{k}" for k in range(width)]
+    counter = 0
+    while len(level) > 1:
+        next_level = []
+        while level:
+            if len(level) >= 3:
+                group, level = level[:3], level[3:]
+                gtype = "XOR3"
+            elif len(level) >= 2:
+                group, level = level[:2], level[2:]
+                gtype = "XOR2"
+            else:
+                next_level.append(level.pop())
+                continue
+            out = f"p{counter}"
+            counter += 1
+            network.add_gate(f"g_{out}", gtype, group, out)
+            next_level.append(out)
+        level = next_level
+    network.add_output(level[0])
+    network.validate()
+    return network
+
+
+def majority_voter(modules: int = 3) -> Network:
+    """A TMR-style bit voter: MAJ3 over module outputs (odd counts > 3
+    are built as a MAJ3 tree over sub-votes)."""
+    if modules != 3:
+        raise ValueError("only triple-modular voting is supported")
+    network = Network("tmr_voter")
+    for k in range(3):
+        network.add_input(f"m{k}")
+    network.add_gate("vote", "MAJ3", ["m0", "m1", "m2"], "y")
+    network.add_output("y")
+    network.validate()
+    return network
+
+
+def equality_comparator(width: int) -> Network:
+    """A == B over ``width``-bit operands: XNOR2 bits + NAND/NOR reduce."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    network = Network(f"eq{width}")
+    for k in range(width):
+        network.add_input(f"a{k}")
+        network.add_input(f"b{k}")
+    bits = []
+    for k in range(width):
+        network.add_gate(f"xn{k}", "XNOR2", [f"a{k}", f"b{k}"], f"e{k}")
+        bits.append(f"e{k}")
+    # Reduce with NAND + INV pairs (AND tree in SP cells).
+    counter = 0
+    while len(bits) > 1:
+        next_bits = []
+        while bits:
+            if len(bits) >= 2:
+                pair, bits = bits[:2], bits[2:]
+                nand_out = f"n{counter}"
+                and_out = f"r{counter}"
+                counter += 1
+                network.add_gate(
+                    f"g_{nand_out}", "NAND2", pair, nand_out
+                )
+                network.add_gate(f"g_{and_out}", "INV", [nand_out], and_out)
+                next_bits.append(and_out)
+            else:
+                next_bits.append(bits.pop())
+        bits = next_bits
+    network.add_output(bits[0])
+    network.validate()
+    return network
+
+
+def mux_tree(select_bits: int) -> Network:
+    """A 2^n:1 multiplexer tree from NAND2/INV cells."""
+    if select_bits < 1:
+        raise ValueError("select_bits must be >= 1")
+    network = Network(f"mux{2 ** select_bits}")
+    n_data = 2**select_bits
+    for k in range(n_data):
+        network.add_input(f"d{k}")
+    for k in range(select_bits):
+        network.add_input(f"s{k}")
+        network.add_gate(f"inv_s{k}", "INV", [f"s{k}"], f"s{k}_n")
+    level = [f"d{k}" for k in range(n_data)]
+    counter = 0
+    for bit in range(select_bits):
+        next_level = []
+        for pair_index in range(0, len(level), 2):
+            a, b = level[pair_index], level[pair_index + 1]
+            # y = a*!s + b*s  via NAND network.
+            n1 = f"mx{counter}_a"
+            n2 = f"mx{counter}_b"
+            out = f"mx{counter}_y"
+            counter += 1
+            network.add_gate(f"g_{n1}", "NAND2", [a, f"s{bit}_n"], n1)
+            network.add_gate(f"g_{n2}", "NAND2", [b, f"s{bit}"], n2)
+            network.add_gate(f"g_{out}", "NAND2", [n1, n2], out)
+            next_level.append(out)
+        level = next_level
+    network.add_output(level[0])
+    network.validate()
+    return network
+
+
+def alu_bit_slice() -> Network:
+    """A 1-bit ALU slice: AND/OR/XOR/SUM selected by two control bits.
+
+    Demonstrates a mixed SP/DP netlist: NAND-based control multiplexing
+    over XOR3/MAJ3 arithmetic.
+    """
+    network = Network("alu_slice")
+    for net in ("a", "b", "cin", "op0", "op1"):
+        network.add_input(net)
+    # Function units.
+    network.add_gate("u_and_n", "NAND2", ["a", "b"], "and_n")
+    network.add_gate("u_and", "INV", ["and_n"], "f_and")
+    network.add_gate("u_or_n", "NOR2", ["a", "b"], "or_n")
+    network.add_gate("u_or", "INV", ["or_n"], "f_or")
+    network.add_gate("u_xor", "XOR2", ["a", "b"], "f_xor")
+    network.add_gate("u_sum", "XOR3", ["a", "b", "cin"], "f_sum")
+    network.add_gate("u_cout", "MAJ3", ["a", "b", "cin"], "cout")
+    # 4:1 select: y = NAND(m0, m1, m2, m3) where m_i = NAND3(f_i, sel_i)
+    # — exactly one !m_i can be high, so the wide NAND ors the selected
+    # function through.  The 4-wide NAND is built as two NAND2+INV pairs
+    # feeding a final NAND2.
+    network.add_gate("inv_op0", "INV", ["op0"], "op0_n")
+    network.add_gate("inv_op1", "INV", ["op1"], "op1_n")
+    network.add_gate("s_and", "NAND3", ["f_and", "op0_n", "op1_n"], "m0")
+    network.add_gate("s_or", "NAND3", ["f_or", "op0", "op1_n"], "m1")
+    network.add_gate("s_xor", "NAND3", ["f_xor", "op0_n", "op1"], "m2")
+    network.add_gate("s_sum", "NAND3", ["f_sum", "op0", "op1"], "m3")
+    network.add_gate("m_a_n", "NAND2", ["m0", "m1"], "ma_n")
+    network.add_gate("m_a", "INV", ["ma_n"], "ma")
+    network.add_gate("m_b_n", "NAND2", ["m2", "m3"], "mb_n")
+    network.add_gate("m_b", "INV", ["mb_n"], "mb")
+    network.add_gate("m_out", "NAND2", ["ma", "mb"], "y")
+    network.add_output("y")
+    network.add_output("cout")
+    network.validate()
+    return network
+
+
+BENCHMARK_BUILDERS = {
+    "c17": c17,
+    "rca4": lambda: ripple_carry_adder(4),
+    "rca8": lambda: ripple_carry_adder(8),
+    "parity8": lambda: parity_tree(8),
+    "parity16": lambda: parity_tree(16),
+    "tmr_voter": majority_voter,
+    "eq4": lambda: equality_comparator(4),
+    "mux8": lambda: mux_tree(3),
+    "alu_slice": alu_bit_slice,
+}
+
+
+def build_benchmark(name: str) -> Network:
+    """Build a named benchmark circuit."""
+    if name not in BENCHMARK_BUILDERS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; "
+            f"available: {sorted(BENCHMARK_BUILDERS)}"
+        )
+    return BENCHMARK_BUILDERS[name]()

@@ -1,0 +1,94 @@
+"""The paper's primary contribution: CP fault models, inductive fault
+analysis, detectability measurement and the new test algorithms."""
+
+from repro.core.classify import (
+    ApplicableModel,
+    BehaviourPoint,
+    SweepClassification,
+    classify_point,
+    classify_sweep,
+)
+from repro.core.defects import (
+    DefectMechanism,
+    DefectSite,
+    FABRICATION_STEPS,
+    FabricationStep,
+    enumerate_defect_sites,
+    table_i_rows,
+)
+from repro.core.detection import (
+    DetectionReport,
+    IDDQ_DETECT_RATIO,
+    VectorObservation,
+    characterise_fault,
+)
+from repro.core.fault_models import (
+    ChannelBreakFault,
+    CircuitFault,
+    DriveDriftFault,
+    FloatingPolarityGate,
+    GOSFault,
+    InterconnectBridgeFault,
+    StuckAtNType,
+    StuckAtPType,
+    StuckOnFault,
+    TerminalBridgeFault,
+)
+from repro.core.inductive import (
+    IFAResult,
+    IFASummary,
+    run_ifa,
+    summarise_ifa,
+)
+from repro.core.test_algorithms import (
+    ChannelBreakProcedure,
+    ChannelBreakStep,
+    PolarityFaultRow,
+    TwoPatternTest,
+    channel_break_procedure,
+    polarity_fault_table,
+    run_channel_break_procedure,
+    simulate_two_pattern,
+    two_pattern_sof_tests,
+)
+
+__all__ = [
+    "ApplicableModel",
+    "BehaviourPoint",
+    "ChannelBreakFault",
+    "ChannelBreakProcedure",
+    "ChannelBreakStep",
+    "CircuitFault",
+    "DefectMechanism",
+    "DefectSite",
+    "DetectionReport",
+    "DriveDriftFault",
+    "FABRICATION_STEPS",
+    "FabricationStep",
+    "FloatingPolarityGate",
+    "GOSFault",
+    "IDDQ_DETECT_RATIO",
+    "IFAResult",
+    "IFASummary",
+    "InterconnectBridgeFault",
+    "PolarityFaultRow",
+    "StuckAtNType",
+    "StuckAtPType",
+    "StuckOnFault",
+    "SweepClassification",
+    "TerminalBridgeFault",
+    "TwoPatternTest",
+    "VectorObservation",
+    "channel_break_procedure",
+    "characterise_fault",
+    "classify_point",
+    "classify_sweep",
+    "enumerate_defect_sites",
+    "polarity_fault_table",
+    "run_channel_break_procedure",
+    "run_ifa",
+    "simulate_two_pattern",
+    "summarise_ifa",
+    "table_i_rows",
+    "two_pattern_sof_tests",
+]

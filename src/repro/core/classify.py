@@ -1,0 +1,108 @@
+"""Behaviour classification: which fault models apply where.
+
+Section V-A of the paper concludes, per gate and per ``Vcut`` band, which
+classic fault models can reveal an open polarity gate: the delay fault
+and stuck-on (IDDQ) below a threshold, the stuck-open fault (SOF) beyond
+it.  :func:`classify_point` encodes that decision rule;
+:func:`classify_sweep` applies it across a sweep and extracts the bands
+the paper reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+
+class ApplicableModel(enum.Enum):
+    """Fault models a tester could use against an observed behaviour."""
+
+    DELAY = "delay fault"
+    SOF = "stuck-open fault"
+    STUCK_ON = "stuck-on (IDDQ)"
+
+
+@dataclasses.dataclass(frozen=True)
+class BehaviourPoint:
+    """Normalised observables of a faulty gate at one operating point.
+
+    Attributes:
+        functional: Gate still computes its truth table.
+        delay_ratio: Faulty/fault-free worst delay (inf when it never
+            switches).
+        leak_ratio: Faulty/fault-free worst static supply current.
+    """
+
+    functional: bool
+    delay_ratio: float
+    leak_ratio: float
+
+
+#: Ratio thresholds (same spirit as the paper's commentary: a 30 % delay
+#: degradation is testable as a delay fault; a decade of extra leakage is
+#: IDDQ-testable).
+DELAY_THRESHOLD = 1.3
+LEAK_THRESHOLD = 10.0
+
+
+def classify_point(point: BehaviourPoint) -> set[ApplicableModel]:
+    """Fault models applicable at one operating point."""
+    models: set[ApplicableModel] = set()
+    if not point.functional or math.isinf(point.delay_ratio):
+        models.add(ApplicableModel.SOF)
+    elif point.delay_ratio > DELAY_THRESHOLD:
+        models.add(ApplicableModel.DELAY)
+    if point.leak_ratio > LEAK_THRESHOLD:
+        models.add(ApplicableModel.STUCK_ON)
+    return models
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepClassification:
+    """Band structure of a Vcut sweep (the Section V-A conclusions).
+
+    Attributes:
+        vcuts: Sweep points.
+        models: Applicable model set per point.
+        functional_limit: First Vcut where the gate stops functioning
+            (None when it never fails — the DP masking case).
+        summary: Union of models applicable anywhere in the sweep.
+    """
+
+    vcuts: tuple[float, ...]
+    models: tuple[frozenset[ApplicableModel], ...]
+    functional_limit: float | None
+    summary: frozenset[ApplicableModel]
+
+    def describe(self) -> str:
+        names = sorted(m.value for m in self.summary)
+        limit = (
+            f"functional up to Vcut={self.functional_limit:.2f} V"
+            if self.functional_limit is not None
+            else "functional over the whole sweep"
+        )
+        return f"{limit}; testable via: {', '.join(names) or 'none'}"
+
+
+def classify_sweep(
+    vcuts: list[float], points: list[BehaviourPoint]
+) -> SweepClassification:
+    """Classify a full Vcut sweep."""
+    if len(vcuts) != len(points):
+        raise ValueError("vcuts and points must align")
+    models = tuple(frozenset(classify_point(p)) for p in points)
+    functional_limit = None
+    for vcut, point in zip(vcuts, points):
+        if not point.functional or math.isinf(point.delay_ratio):
+            functional_limit = vcut
+            break
+    union: set[ApplicableModel] = set()
+    for m in models:
+        union |= m
+    return SweepClassification(
+        vcuts=tuple(vcuts),
+        models=models,
+        functional_limit=functional_limit,
+        summary=frozenset(union),
+    )

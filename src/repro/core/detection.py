@@ -1,0 +1,167 @@
+"""Detectability measurement of injected faults (SPICE domain).
+
+For a cell testbench with an injected fault, measure the three
+observables the paper uses:
+
+* **output voltage** — DC truth-table comparison (a voltage tester),
+* **IDDQ** — static supply current ratio vs fault-free (Section V-B's
+  ">x10^6" criterion),
+* **delay** — transient propagation-delay ratio (delay-fault testing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from repro.core.fault_models import CircuitFault
+from repro.gates.builder import build_cell_circuit
+from repro.gates.cell import Cell
+from repro.gates.characterize import transition_delay
+from repro.spice.dc import solve_dc
+from repro.spice.measure import logic_level
+
+#: Leakage ratio above which a fault counts as IDDQ-detectable.
+IDDQ_DETECT_RATIO = 10.0
+
+#: Delay ratio above which a fault counts as delay-testable.
+DELAY_DETECT_RATIO = 1.3
+
+
+@dataclasses.dataclass(frozen=True)
+class VectorObservation:
+    """Measurements for one static input vector."""
+
+    vector: tuple[int, ...]
+    v_out: float
+    logic_out: int | None
+    iddq: float
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectionReport:
+    """Detectability summary of one fault on one cell.
+
+    Attributes:
+        fault_description: From :meth:`CircuitFault.describe`.
+        output_vectors: Vectors whose logic output differs from fault-free
+            (wrong or indeterminate level).
+        iddq_vectors: Vectors whose IDDQ exceeds the fault-free value by
+            :data:`IDDQ_DETECT_RATIO`.
+        worst_iddq_ratio: max faulty/fault-free IDDQ over vectors.
+        delay_ratio: worst faulty/fault-free delay (nan when not
+            measured; inf when the faulty gate never switches).
+        observations: Per-vector raw measurements.
+    """
+
+    fault_description: str
+    output_vectors: tuple[tuple[int, ...], ...]
+    iddq_vectors: tuple[tuple[int, ...], ...]
+    worst_iddq_ratio: float
+    delay_ratio: float
+    observations: tuple[VectorObservation, ...]
+
+    @property
+    def output_detectable(self) -> bool:
+        return bool(self.output_vectors)
+
+    @property
+    def iddq_detectable(self) -> bool:
+        return bool(self.iddq_vectors)
+
+    @property
+    def delay_detectable(self) -> bool:
+        return self.delay_ratio > DELAY_DETECT_RATIO
+
+    @property
+    def detected(self) -> bool:
+        return (
+            self.output_detectable
+            or self.iddq_detectable
+            or self.delay_detectable
+        )
+
+
+def _static_observations(bench) -> list[VectorObservation]:
+    observations = []
+    for vector in itertools.product((0, 1), repeat=bench.cell.n_inputs):
+        bench.set_vector(vector)
+        op = solve_dc(bench.circuit)
+        v_out = op.voltage("out")
+        observations.append(
+            VectorObservation(
+                vector=vector,
+                v_out=v_out,
+                logic_out=logic_level(v_out, bench.vdd),
+                iddq=op.supply_current("vdd"),
+            )
+        )
+    return observations
+
+
+def characterise_fault(
+    cell: Cell,
+    fault: CircuitFault,
+    fanout: int = 4,
+    measure_delay: bool = True,
+    delay_input: str | None = None,
+    delay_other_bits: dict[str, int] | None = None,
+) -> DetectionReport:
+    """Inject ``fault`` into a fresh testbench and measure detectability.
+
+    Args:
+        cell: Cell under test.
+        fault: Fault to inject.
+        fanout: FO-N loading.
+        measure_delay: Also run the transient delay comparison (slower).
+        delay_input: Input to pulse for the delay measurement (defaults
+            to the first input).
+        delay_other_bits: Static values of the remaining inputs during
+            the delay measurement (defaults to the all-zeros side).
+    """
+    good_bench = build_cell_circuit(cell, fanout=fanout)
+    bad_bench = build_cell_circuit(cell, fanout=fanout)
+    fault.apply(bad_bench)
+
+    good_obs = _static_observations(good_bench)
+    bad_obs = _static_observations(bad_bench)
+
+    output_vectors = []
+    iddq_vectors = []
+    worst_ratio = 0.0
+    for good, bad in zip(good_obs, bad_obs):
+        if bad.logic_out != good.logic_out:
+            output_vectors.append(good.vector)
+        ratio = bad.iddq / max(good.iddq, 1e-15)
+        worst_ratio = max(worst_ratio, ratio)
+        if ratio > IDDQ_DETECT_RATIO:
+            iddq_vectors.append(good.vector)
+
+    delay_ratio = float("nan")
+    if measure_delay:
+        input_name = delay_input or cell.inputs[0]
+        others = delay_other_bits or {
+            name: 0 for name in cell.inputs if name != input_name
+        }
+        # Worst ratio over both edges: a weakened pull-up only shows on
+        # the rising-output edge and vice versa.
+        for rising in (True, False):
+            good_delay = transition_delay(
+                good_bench, input_name, others, rising=rising
+            )
+            bad_delay = transition_delay(
+                bad_bench, input_name, others, rising=rising
+            )
+            if good_delay > 0:
+                ratio = bad_delay / good_delay
+                if not (ratio <= delay_ratio):  # NaN-safe max
+                    delay_ratio = ratio
+
+    return DetectionReport(
+        fault_description=fault.describe(),
+        output_vectors=tuple(output_vectors),
+        iddq_vectors=tuple(iddq_vectors),
+        worst_iddq_ratio=worst_ratio,
+        delay_ratio=delay_ratio,
+        observations=tuple(bad_obs),
+    )

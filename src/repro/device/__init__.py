@@ -1,0 +1,55 @@
+"""TIG-SiNWFET device-model substrate.
+
+Replaces the paper's Sentaurus TCAD + HSPICE Verilog-A table model with a
+calibrated analytic compact model, device-level defect models (gate-oxide
+short, channel break, parameter drift) and a look-up-table model for
+circuit simulation.  See DESIGN.md section 2 for the substitution
+rationale.
+"""
+
+from repro.device.defects import (
+    ChannelBreak,
+    DeviceDefect,
+    GateOxideShort,
+    ParameterDrift,
+)
+from repro.device.iv import (
+    CurveMetrics,
+    TransferCurve,
+    compare_to_fault_free,
+    id_sat,
+    on_off_ratio,
+    subthreshold_slope,
+    sweep_id_vcg,
+    threshold_voltage,
+)
+from repro.device.params import (
+    DEFAULT_PARAMS,
+    DeviceParameters,
+    table_ii_rows,
+    thermal_voltage,
+)
+from repro.device.table_model import TableModel
+from repro.device.tig_model import TIGSiNWFET, OperatingPoint
+
+__all__ = [
+    "ChannelBreak",
+    "CurveMetrics",
+    "DEFAULT_PARAMS",
+    "DeviceDefect",
+    "DeviceParameters",
+    "GateOxideShort",
+    "OperatingPoint",
+    "ParameterDrift",
+    "TIGSiNWFET",
+    "TableModel",
+    "TransferCurve",
+    "compare_to_fault_free",
+    "id_sat",
+    "on_off_ratio",
+    "subthreshold_slope",
+    "sweep_id_vcg",
+    "table_ii_rows",
+    "thermal_voltage",
+    "threshold_voltage",
+]

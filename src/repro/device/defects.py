@@ -1,0 +1,261 @@
+"""Device-level defect models for the TIG-SiNWFET compact model.
+
+Section IV of the paper derives the realistic defect set from the
+fabrication process (Table I): nanowire break, gate-oxide short (GOS) at
+any of the three gates, bridges between terminals, and floating gates.
+This module implements the *device-internal* defects — the ones that change
+the I-V characteristics of a single transistor:
+
+* :class:`GateOxideShort` — a conductive plug through the gate dielectric;
+  reduces the defective segment's conductance (carrier absorption), shifts
+  the threshold seen from the control gate, and adds a resistive shunt
+  between the gate electrode and the channel (which produces the negative
+  drain-current branch of Fig. 3).
+* :class:`ChannelBreak` — a severed (or partially severed) nanowire;
+  suppresses the channel current, leaving only the leakage floor.
+* :class:`ParameterDrift` — LER/process variation; shifts thresholds and
+  scales the on-current (the physical origin of delay faults).
+
+Bridges between *circuit nets* and floating gates are circuit-level
+conditions and live in :mod:`repro.core.fault_models` /
+:mod:`repro.spice`.
+
+The compact model queries three kinds of information from a defect:
+per-gate threshold shifts and activation factors (:meth:`DeviceDefect.vth_shift`,
+:meth:`DeviceDefect.segment_factor`), a global channel-current factor
+(:meth:`DeviceDefect.channel_factor`), and an optional gate-to-channel
+shunt (:meth:`DeviceDefect.shunt_spec`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.device.tig_model import TIGSiNWFET
+
+GATE_TERMINALS = ("pgs", "cg", "pgd")
+"""The three gate terminals of a TIG-SiNWFET."""
+
+
+class DeviceDefect:
+    """Base class for device-level defects.
+
+    The default implementations are no-ops, so subclasses override only
+    what their physics requires.
+    """
+
+    def vth_shift(self, gate: str, branch: str) -> float:
+        """Additional threshold voltage [V] for ``gate`` ('pgs'|'cg'|'pgd').
+
+        ``branch`` is ``'n'`` or ``'p'``; positive shifts always make the
+        branch harder to turn on.
+        """
+        del gate, branch
+        return 0.0
+
+    def segment_factor(self, gate: str, branch: str) -> float:
+        """Multiplicative factor on the activation of ``gate``'s segment."""
+        del gate, branch
+        return 1.0
+
+    def channel_factor(self) -> float:
+        """Multiplicative factor on the total channel current."""
+        return 1.0
+
+    def shunt_spec(self) -> tuple[str, float, float] | None:
+        """Gate-to-channel shunt as ``(gate, resistance, alpha_drain)``.
+
+        ``alpha_drain`` is the fraction of the shunt current that enters
+        the channel on the drain side (position of the defect along the
+        channel).  ``None`` means no shunt.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Hooks called by TIGSiNWFET (generic implementations in terms of the
+    # overridable queries above).
+    # ------------------------------------------------------------------
+    def scale_channel_current(
+        self, model: "TIGSiNWFET", current: np.ndarray
+    ) -> np.ndarray:
+        del model
+        return current * self.channel_factor()
+
+    def extra_drain_current(
+        self,
+        model: "TIGSiNWFET",
+        v_cg: np.ndarray,
+        v_pgs: np.ndarray,
+        v_pgd: np.ndarray,
+        v_d: np.ndarray,
+        v_s: np.ndarray,
+    ) -> np.ndarray | float:
+        """Additional current into the drain (e.g. from a GOS shunt)."""
+        spec = self.shunt_spec()
+        if spec is None:
+            return 0.0
+        gate, resistance, alpha = spec
+        v_gate = {"pgs": v_pgs, "cg": v_cg, "pgd": v_pgd}[gate]
+        v_channel = alpha * np.asarray(v_d, dtype=float) + (
+            1.0 - alpha
+        ) * np.asarray(v_s, dtype=float)
+        i_shunt = (np.asarray(v_gate, dtype=float) - v_channel) / resistance
+        return alpha * i_shunt
+
+    def add_shunt_currents(
+        self,
+        model: "TIGSiNWFET",
+        currents: dict[str, float],
+        v_cg: float,
+        v_pgs: float,
+        v_pgd: float,
+        v_d: float,
+        v_s: float,
+    ) -> None:
+        """Add shunt contributions to a terminal-current dictionary.
+
+        The dictionary's ``d`` entry comes from
+        :meth:`~repro.device.tig_model.TIGSiNWFET.drain_current`, which
+        already includes the shunt's drain-side share, so only the gate
+        and source entries are adjusted here (keeping the terminal sum at
+        zero).
+        """
+        del model
+        spec = self.shunt_spec()
+        if spec is None:
+            return
+        gate, resistance, alpha = spec
+        v_gate = {"pgs": v_pgs, "cg": v_cg, "pgd": v_pgd}[gate]
+        v_channel = alpha * v_d + (1.0 - alpha) * v_s
+        i_shunt = (v_gate - v_channel) / resistance
+        currents[gate] -= i_shunt
+        currents["s"] += i_shunt
+
+
+@dataclasses.dataclass(frozen=True)
+class GateOxideShort(DeviceDefect):
+    """Gate-oxide short at one of the three gates.
+
+    Calibration (severity = 1) reproduces the Fig. 3 behaviour for an
+    n-configured device:
+
+    * ``location='pgs'``: strongest ID(SAT) reduction (to ~0.45x) and a
+      ~+170 mV threshold shift — the defect absorbs carriers right at the
+      injection point (Fig. 4: channel density drops to ~1.4e17 cm^-3).
+    * ``location='cg'``: milder reduction (~0.7x), ~+100 mV shift.
+    * ``location='pgd'``: slight ID *increase* (field enhancement near the
+      quasi-ballistic drain end) and no threshold shift.
+
+    All locations add a gate-to-channel resistive shunt which yields the
+    small negative drain current at low VCG seen in Fig. 3.
+
+    Args:
+        location: Which gate is shorted ('pgs', 'cg' or 'pgd').
+        severity: Defect size scaling in (0, 1]; 1 is the paper's
+            calibrated defect, smaller values model smaller pinholes.
+    """
+
+    location: str
+    severity: float = 1.0
+
+    #: location -> (segment factor, CG threshold shift [V], shunt alpha).
+    _CALIBRATION = {
+        "pgs": (0.20, 0.17, 0.15),
+        "cg": (0.45, 0.10, 0.50),
+        "pgd": (1.15, 0.00, 0.85),
+    }
+
+    _R_SHUNT_BASE = 1.5e7
+    """Base gate-channel shunt resistance [Ohm] at severity 1."""
+
+    def __post_init__(self) -> None:
+        if self.location not in GATE_TERMINALS:
+            raise ValueError(
+                f"GOS location must be one of {GATE_TERMINALS}, "
+                f"got {self.location!r}"
+            )
+        if not 0 < self.severity <= 1:
+            raise ValueError("severity must be in (0, 1]")
+
+    def vth_shift(self, gate: str, branch: str) -> float:
+        del branch
+        if gate != "cg":
+            return 0.0
+        return self._CALIBRATION[self.location][1] * self.severity
+
+    def segment_factor(self, gate: str, branch: str) -> float:
+        del branch
+        if gate != self.location:
+            return 1.0
+        base = self._CALIBRATION[self.location][0]
+        return base**self.severity
+
+    def shunt_spec(self) -> tuple[str, float, float]:
+        alpha = self._CALIBRATION[self.location][2]
+        return (self.location, self._R_SHUNT_BASE / self.severity, alpha)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelBreak(DeviceDefect):
+    """Severed nanowire channel (Table I steps 1-2: patterning/etching).
+
+    Args:
+        fraction: Severity of the break.  1.0 is a complete break (the
+            channel current collapses to a ~1e-9 residue of its nominal
+            value, i.e. an open); values below one model a partially
+            broken wire that merely limits the driving current — the
+            paper's "drastically limit the driving current" delay-fault
+            case.
+    """
+
+    fraction: float = 1.0
+
+    _FULL_BREAK_RESIDUE = 1e-9
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fraction <= 1:
+            raise ValueError("fraction must be in [0, 1]")
+
+    def channel_factor(self) -> float:
+        return (1.0 - self.fraction) + self.fraction * self._FULL_BREAK_RESIDUE
+
+    @property
+    def is_full_break(self) -> bool:
+        """True when the wire is completely severed (a stuck-open site)."""
+        return self.fraction >= 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ParameterDrift(DeviceDefect):
+    """Process variation / line-edge-roughness induced parameter drift.
+
+    Models the paper's motivation that "process variation negatively
+    affects the driving current of transistors and consequently results in
+    delay faults".
+
+    Args:
+        dvth_cg: Control-gate threshold shift [V].
+        dvth_pg: Polarity-gate threshold shift [V].
+        i_on_factor: Multiplicative drive-current drift.
+    """
+
+    dvth_cg: float = 0.0
+    dvth_pg: float = 0.0
+    i_on_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.i_on_factor <= 0:
+            raise ValueError("i_on_factor must be positive")
+
+    def vth_shift(self, gate: str, branch: str) -> float:
+        del branch
+        if gate == "cg":
+            return self.dvth_cg
+        return self.dvth_pg
+
+    def channel_factor(self) -> float:
+        return self.i_on_factor

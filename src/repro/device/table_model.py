@@ -1,0 +1,236 @@
+"""Look-up-table compact model (the Verilog-A table-model analogue).
+
+Section III-D of the paper: "circuit level simulations are realized by a
+simple compact model based on a table model in Verilog-A.  The result of
+the TCAD simulations ... makes a look-up table model that characterizing
+the channel conductivity as a function of VCG, VPGS and VPGD" plus
+parasitic capacitances and access resistances.
+
+:class:`TableModel` samples any :class:`~repro.device.tig_model.TIGSiNWFET`
+(fault-free or defective) on a 4-D grid of (VCG, VPGS, VPGD, VDS) with the
+source as reference, stores the currents in log-magnitude form, and
+evaluates by multilinear interpolation.  Reverse operation (VDS < 0) uses
+the device's source/drain symmetry: the roles of the terminals — and of
+the two polarity gates — swap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.params import DeviceParameters
+from repro.device.tig_model import TIGSiNWFET
+
+
+class TableModel:
+    """Interpolated table model of a TIG-SiNWFET.
+
+    Args:
+        device: Device to sample.
+        grid_points: Number of grid points per gate axis.
+        vds_points: Number of grid points on the VDS axis.
+        margin: Sampled voltage range extends this much beyond [0, VDD]
+            on every axis, so floating-node analyses stay on-grid.
+    """
+
+    def __init__(
+        self,
+        device: TIGSiNWFET,
+        grid_points: int = 25,
+        vds_points: int = 17,
+        margin: float = 0.2,
+    ) -> None:
+        if grid_points < 2 or vds_points < 2:
+            raise ValueError("need at least 2 grid points per axis")
+        self.device = device
+        vdd = device.params.vdd
+        # Gate axes are referenced to the conduction-side terminal, which
+        # itself ranges over [0, VDD]: relative gate voltages span the
+        # full [-VDD, +VDD] band (plus margin).
+        self._v_axis = np.linspace(
+            -(vdd + margin), vdd + margin, grid_points
+        )
+        # The VDS axis starts just above zero: currents are divided by the
+        # saturation shape factor before encoding (see _norm), which makes
+        # the stored quantity finite and smooth down to VDS -> 0.  The
+        # low-VDS region uses geometric spacing — the forward and reverse
+        # injection terms nearly cancel there, so the normalised value
+        # changes quickly and needs denser sampling.
+        n_low = max(2, vds_points // 2)
+        n_high = max(2, vds_points - n_low)
+        low = np.geomspace(1e-4, 0.1, n_low, endpoint=False)
+        high = np.linspace(0.1, vdd + margin, n_high)
+        self._vds_axis = np.concatenate([low, high])
+        grids = np.meshgrid(
+            self._v_axis,
+            self._v_axis,
+            self._v_axis,
+            self._vds_axis,
+            indexing="ij",
+        )
+        v_cg, v_pgs, v_pgd, v_ds = grids
+        i_d = np.asarray(
+            device.drain_current(v_cg, v_pgs, v_pgd, v_ds, 0.0), dtype=float
+        )
+        # Store as signed log-magnitude of the VDS-normalised current:
+        # dividing out the known triode-to-saturation shape removes the
+        # linear zero crossing at VDS = 0, and interpolating log values
+        # keeps relative accuracy across the many decades between
+        # on-current and leakage floor.
+        self._log_floor = -16.0
+        self._table = self._encode(i_d / self._norm(v_ds))
+
+    def _norm(self, v_ds: np.ndarray) -> np.ndarray:
+        """Saturation shape factor divided out of stored currents."""
+        p = self.device.params
+        v_ds = np.maximum(np.asarray(v_ds, dtype=float), 1e-12)
+        return np.tanh(v_ds / p.v_dsat) * (1.0 + v_ds / p.v_early)
+
+    @property
+    def params(self) -> DeviceParameters:
+        return self.device.params
+
+    def _encode(self, i_d: np.ndarray) -> np.ndarray:
+        magnitude = np.maximum(np.abs(i_d), 10.0**self._log_floor)
+        return np.sign(i_d) * (np.log10(magnitude) - self._log_floor)
+
+    def _decode(self, value: np.ndarray) -> np.ndarray:
+        return np.sign(value) * 10.0 ** (np.abs(value) + self._log_floor)
+
+    def _interpolate(
+        self,
+        v_cg: np.ndarray,
+        v_pgs: np.ndarray,
+        v_pgd: np.ndarray,
+        v_ds: np.ndarray,
+    ) -> np.ndarray:
+        """Multilinear interpolation on the 4-D table."""
+        coords = []
+        for values, axis in (
+            (v_cg, self._v_axis),
+            (v_pgs, self._v_axis),
+            (v_pgd, self._v_axis),
+            (v_ds, self._vds_axis),
+        ):
+            clipped = np.clip(values, axis[0], axis[-1])
+            idx = np.clip(
+                np.searchsorted(axis, clipped) - 1, 0, len(axis) - 2
+            )
+            frac = (clipped - axis[idx]) / (axis[idx + 1] - axis[idx])
+            coords.append((idx, frac))
+        result = np.zeros(np.broadcast(v_cg, v_pgs, v_pgd, v_ds).shape)
+        for corner in range(16):
+            weight = np.ones_like(result)
+            index = []
+            for dim in range(4):
+                idx, frac = coords[dim]
+                if corner >> dim & 1:
+                    index.append(idx + 1)
+                    weight = weight * frac
+                else:
+                    index.append(idx)
+                    weight = weight * (1.0 - frac)
+            result = result + weight * self._table[tuple(index)]
+        return result
+
+    def drain_current(
+        self,
+        v_cg: np.ndarray | float,
+        v_pgs: np.ndarray | float,
+        v_pgd: np.ndarray | float,
+        v_d: np.ndarray | float,
+        v_s: np.ndarray | float,
+    ) -> np.ndarray | float:
+        """Interpolated drain current; same signature as the analytic model."""
+        v_cg = np.asarray(v_cg, dtype=float)
+        v_pgs = np.asarray(v_pgs, dtype=float)
+        v_pgd = np.asarray(v_pgd, dtype=float)
+        v_d = np.asarray(v_d, dtype=float)
+        v_s = np.asarray(v_s, dtype=float)
+        v_ds = v_d - v_s
+        forward = v_ds >= 0
+        # Forward: reference = source.  Reverse: swap D/S roles (and the
+        # polarity gates with them) and negate.
+        ref_fwd = v_s
+        ref_rev = v_d
+        value_fwd = self._interpolate(
+            v_cg - ref_fwd, v_pgs - ref_fwd, v_pgd - ref_fwd, v_ds
+        )
+        value_rev = self._interpolate(
+            v_cg - ref_rev, v_pgd - ref_rev, v_pgs - ref_rev, -v_ds
+        )
+        encoded = np.where(forward, value_fwd, -value_rev)
+        result = self._decode(encoded) * self._norm(np.abs(v_ds))
+        if result.shape == ():
+            return float(result)
+        return result
+
+    def terminal_currents(
+        self, v_cg: float, v_pgs: float, v_pgd: float, v_d: float, v_s: float
+    ) -> dict[str, float]:
+        """Terminal currents; gate shunts are delegated to the sampled device."""
+        i_d = float(
+            np.asarray(self.drain_current(v_cg, v_pgs, v_pgd, v_d, v_s))
+        )
+        currents = {"d": i_d, "s": -i_d, "cg": 0.0, "pgs": 0.0, "pgd": 0.0}
+        defect = self.device.defect
+        if defect is not None:
+            defect.add_shunt_currents(
+                self.device, currents, v_cg, v_pgs, v_pgd, v_d, v_s
+            )
+        return currents
+
+    def terminal_current_matrix(self, volts: np.ndarray) -> np.ndarray:
+        """Vectorised terminal currents; see the analytic model's method."""
+        volts = np.asarray(volts, dtype=float)
+        if volts.shape[-1] != 5:
+            raise ValueError("last axis must hold (d, cg, pgs, pgd, s)")
+        i_d = np.asarray(
+            self.drain_current(
+                volts[..., 1],
+                volts[..., 2],
+                volts[..., 3],
+                volts[..., 0],
+                volts[..., 4],
+            )
+        )
+        out = np.zeros_like(volts)
+        out[..., 0] = i_d
+        out[..., 4] = -i_d
+        defect = self.device.defect
+        if defect is not None:
+            spec = defect.shunt_spec()
+            if spec is not None:
+                # The sampled table already folds the shunt's drain-side
+                # share into the drain current; balance via gate/source.
+                gate, resistance, alpha = spec
+                gate_col = {"cg": 1, "pgs": 2, "pgd": 3}[gate]
+                v_channel = (
+                    alpha * volts[..., 0] + (1.0 - alpha) * volts[..., 4]
+                )
+                i_shunt = (volts[..., gate_col] - v_channel) / resistance
+                out[..., gate_col] -= i_shunt
+                out[..., 4] += i_shunt
+        return out
+
+    def max_relative_log_error(self, samples: int = 200, seed: int = 7) -> float:
+        """Worst-case log10 error vs the analytic model on random biases.
+
+        Used by tests to verify the table model is a faithful stand-in for
+        the analytic device (the paper's TCAD -> Verilog-A step).
+        """
+        rng = np.random.default_rng(seed)
+        vdd = self.params.vdd
+        v = rng.uniform(0.0, vdd, size=(samples, 5))
+        exact = np.asarray(
+            self.device.drain_current(
+                v[:, 0], v[:, 1], v[:, 2], v[:, 3], v[:, 4]
+            )
+        )
+        approx = np.asarray(
+            self.drain_current(v[:, 0], v[:, 1], v[:, 2], v[:, 3], v[:, 4])
+        )
+        floor = 10.0**self._log_floor
+        log_exact = np.log10(np.abs(exact) + floor)
+        log_approx = np.log10(np.abs(approx) + floor)
+        return float(np.max(np.abs(log_exact - log_approx)))

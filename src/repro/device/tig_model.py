@@ -1,0 +1,337 @@
+"""Analytic compact model of the TIG-SiNWFET.
+
+This module replaces the paper's Sentaurus TCAD + Verilog-A table model with
+a physics-flavoured analytic model (see DESIGN.md for the substitution
+argument).  The device is a gate-all-around silicon nanowire with NiSi
+Schottky source/drain contacts and three independent gates:
+
+* ``PGS`` — polarity gate over the source-side Schottky junction,
+* ``CG`` — control gate over the channel body,
+* ``PGD`` — polarity gate over the drain-side Schottky junction.
+
+Conduction requires all three gates to agree: all high for the electron
+(n-type) branch, all low for the hole (p-type) branch; mixed biases block
+the channel — the device is off when ``CG xor (PGS and PGD)`` in logic
+terms.  Each branch is modelled as three gated barrier segments in series,
+with the carrier-injection side evaluated at full strength and the exit
+side softened (``drain_weight``) to encode the quasi-ballistic transport
+under the drain gate described in Section IV-B of the paper.
+
+The model is bidirectional (source/drain roles follow the terminal
+voltages), smooth in all terminal voltages, and vectorised over numpy
+arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.device import physics
+from repro.device.params import DEFAULT_PARAMS, DeviceParameters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.device.defects import DeviceDefect
+
+TERMINALS = ("d", "cg", "pgs", "pgd", "s")
+"""Canonical terminal ordering used by terminal-current dictionaries."""
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatingPoint:
+    """Terminal voltages of a TIG-SiNWFET instance [V]."""
+
+    v_cg: float
+    v_pgs: float
+    v_pgd: float
+    v_d: float
+    v_s: float
+
+
+class TIGSiNWFET:
+    """Compact model of a three-independent-gate SiNWFET.
+
+    Args:
+        params: Structural/electrical parameters (defaults to Table II).
+        defect: Optional device-level defect (see
+            :mod:`repro.device.defects`); ``None`` models a fault-free
+            device.
+
+    The main entry points are :meth:`drain_current` for plain I-V
+    evaluation and :meth:`terminal_currents` for circuit simulation (which
+    also reports gate currents when a gate-oxide short is present).
+    """
+
+    def __init__(
+        self,
+        params: DeviceParameters = DEFAULT_PARAMS,
+        defect: "DeviceDefect | None" = None,
+    ) -> None:
+        self.params = params
+        self.defect = defect
+        # Normalisation so that the fault-free on-current at
+        # (VCG = VPGS = VPGD = VDS = VDD) equals params.i_on.
+        unit = physics.saturation_factor(
+            params.vdd, params.v_dsat, params.v_early
+        )
+        on_activation = self._series(
+            np.array(1.0), np.array(1.0), np.array(1.0)
+        )
+        self._i0 = params.i_on / (float(unit) * float(on_activation))
+
+    # ------------------------------------------------------------------
+    # Branch activations
+    # ------------------------------------------------------------------
+    def _gate_adjustments(self, gate: str, branch: str) -> tuple[float, float]:
+        """Return (threshold shift, activation factor) from the defect."""
+        if self.defect is None:
+            return 0.0, 1.0
+        return (
+            self.defect.vth_shift(gate, branch),
+            self.defect.segment_factor(gate, branch),
+        )
+
+    def _segment_activations_n(
+        self,
+        v_cg: np.ndarray,
+        v_pg_inj: np.ndarray,
+        v_pg_exit: np.ndarray,
+        v_ref: np.ndarray,
+        gate_inj: str,
+        gate_exit: str,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Electron-branch activations (injection PG, CG, exit PG).
+
+        ``gate_inj``/``gate_exit`` name the physical polarity gate at the
+        carrier-injection and carrier-exit ends for this flow direction,
+        so device-level defects attach to the right physical terminal.
+        """
+        p = self.params
+        shift, factor = self._gate_adjustments(gate_inj, "n")
+        a_inj = factor * physics.n_activation(
+            v_pg_inj - v_ref, p.vth_pg + shift, p.ss_pg
+        )
+        shift, factor = self._gate_adjustments("cg", "n")
+        a_cg = factor * physics.n_activation(
+            v_cg - v_ref, p.vth_cg + shift, p.ss_cg
+        )
+        shift, factor = self._gate_adjustments(gate_exit, "n")
+        a_exit = physics.n_activation(
+            v_pg_exit - v_ref, p.vth_pg + shift, p.ss_pg
+        )
+        a_exit = factor * np.power(
+            np.maximum(a_exit, physics.ACTIVATION_FLOOR), p.drain_weight
+        )
+        return a_inj, a_cg, a_exit
+
+    def _segment_activations_p(
+        self,
+        v_cg: np.ndarray,
+        v_pg_inj: np.ndarray,
+        v_pg_exit: np.ndarray,
+        v_ref: np.ndarray,
+        gate_inj: str,
+        gate_exit: str,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Hole-branch activations (injection PG, CG, exit PG)."""
+        p = self.params
+        shift, factor = self._gate_adjustments(gate_inj, "p")
+        a_inj = factor * physics.p_activation(
+            v_pg_inj - v_ref, p.vth_pg + shift, p.ss_pg
+        )
+        shift, factor = self._gate_adjustments("cg", "p")
+        a_cg = factor * physics.p_activation(
+            v_cg - v_ref, p.vth_cg + shift, p.ss_cg
+        )
+        shift, factor = self._gate_adjustments(gate_exit, "p")
+        a_exit = physics.p_activation(
+            v_pg_exit - v_ref, p.vth_pg + shift, p.ss_pg
+        )
+        a_exit = factor * np.power(
+            np.maximum(a_exit, physics.ACTIVATION_FLOOR), p.drain_weight
+        )
+        return a_inj, a_cg, a_exit
+
+    def _series(self, *segments: np.ndarray) -> np.ndarray:
+        """Series combination with defect hooks applied."""
+        return np.asarray(physics.series_activation(*segments))
+
+    # ------------------------------------------------------------------
+    # Current evaluation
+    # ------------------------------------------------------------------
+    def _directional_current(
+        self,
+        v_cg: np.ndarray,
+        v_pg_low: np.ndarray,
+        v_pg_high: np.ndarray,
+        v_low: np.ndarray,
+        v_high: np.ndarray,
+        gate_low: str,
+        gate_high: str,
+    ) -> np.ndarray:
+        """Channel current magnitude for carriers flowing low -> high.
+
+        Electrons are injected at the low-potential terminal (gated by
+        ``v_pg_low``); holes at the high-potential terminal (gated by
+        ``v_pg_high``).  ``v_low``/``v_high`` are the corresponding
+        terminal potentials, and ``gate_low``/``gate_high`` the physical
+        names ('pgs'/'pgd') of the polarity gates at those ends.  The
+        returned current magnitude already includes both carrier branches
+        but not the leakage floor.
+        """
+        p = self.params
+        vds_eff = physics.smooth_positive(v_high - v_low)
+
+        n_inj, n_cg, n_exit = self._segment_activations_n(
+            v_cg, v_pg_low, v_pg_high, v_low, gate_low, gate_high
+        )
+        p_inj, p_cg, p_exit = self._segment_activations_p(
+            v_cg, v_pg_high, v_pg_low, v_high, gate_high, gate_low
+        )
+        g_n = self._series(n_inj, n_cg, n_exit)
+        g_p = self._series(p_inj, p_cg, p_exit)
+        sat = physics.saturation_factor(vds_eff, p.v_dsat, p.v_early)
+        current = (
+            self._i0 * (g_n + p.p_branch_factor * g_p) * sat
+        )
+        if self.defect is not None:
+            current = self.defect.scale_channel_current(self, current)
+        return current
+
+    def drain_current(
+        self,
+        v_cg: np.ndarray | float,
+        v_pgs: np.ndarray | float,
+        v_pgd: np.ndarray | float,
+        v_d: np.ndarray | float,
+        v_s: np.ndarray | float,
+    ) -> np.ndarray | float:
+        """Conventional current into the drain terminal [A].
+
+        Positive when current flows drain -> source inside the channel
+        (normal n-type operation with ``v_d > v_s``).  Vectorised: any
+        argument may be a numpy array (they broadcast together).
+        """
+        v_cg = np.asarray(v_cg, dtype=float)
+        v_pgs = np.asarray(v_pgs, dtype=float)
+        v_pgd = np.asarray(v_pgd, dtype=float)
+        v_d = np.asarray(v_d, dtype=float)
+        v_s = np.asarray(v_s, dtype=float)
+
+        # Forward: source is the low terminal (electron injection at S).
+        forward = self._directional_current(
+            v_cg, v_pgs, v_pgd, v_s, v_d, "pgs", "pgd"
+        )
+        # Reverse: drain is the low terminal.
+        reverse = self._directional_current(
+            v_cg, v_pgd, v_pgs, v_d, v_s, "pgd", "pgs"
+        )
+        floor = self.params.i_floor * np.tanh((v_d - v_s) / 0.05)
+        current = forward - reverse + floor
+
+        if self.defect is not None:
+            current = current + self.defect.extra_drain_current(
+                self, v_cg, v_pgs, v_pgd, v_d, v_s
+            )
+        if current.shape == ():
+            return float(current)
+        return current
+
+    def terminal_currents(
+        self,
+        v_cg: float,
+        v_pgs: float,
+        v_pgd: float,
+        v_d: float,
+        v_s: float,
+    ) -> dict[str, float]:
+        """Currents *into* each terminal [A], for circuit simulation.
+
+        For a fault-free device the gate currents are zero and
+        ``i_d == -i_s``.  A gate-oxide short adds a shunt current from the
+        defective gate into the channel, split between drain and source
+        according to the defect position.
+        """
+        i_d = float(
+            np.asarray(
+                self.drain_current(v_cg, v_pgs, v_pgd, v_d, v_s)
+            )
+        )
+        currents = {"d": i_d, "s": -i_d, "cg": 0.0, "pgs": 0.0, "pgd": 0.0}
+        if self.defect is not None:
+            self.defect.add_shunt_currents(
+                self, currents, v_cg, v_pgs, v_pgd, v_d, v_s
+            )
+        return currents
+
+    def terminal_current_matrix(self, volts: np.ndarray) -> np.ndarray:
+        """Vectorised terminal currents for circuit simulation.
+
+        Args:
+            volts: Array of shape ``(..., 5)`` holding terminal voltages in
+                the order ``(d, cg, pgs, pgd, s)``.
+
+        Returns:
+            Array of the same shape with the current flowing *into* each
+            terminal.  Gate columns are zero unless the defect defines a
+            gate-to-channel shunt.
+        """
+        volts = np.asarray(volts, dtype=float)
+        if volts.shape[-1] != 5:
+            raise ValueError("last axis must hold (d, cg, pgs, pgd, s)")
+        v_d = volts[..., 0]
+        v_cg = volts[..., 1]
+        v_pgs = volts[..., 2]
+        v_pgd = volts[..., 3]
+        v_s = volts[..., 4]
+        i_d = np.asarray(self.drain_current(v_cg, v_pgs, v_pgd, v_d, v_s))
+        out = np.zeros_like(volts)
+        out[..., 0] = i_d
+        out[..., 4] = -i_d
+        if self.defect is not None:
+            spec = self.defect.shunt_spec()
+            if spec is not None:
+                # drain_current() already contains the shunt's drain-side
+                # share (alpha * i_shunt); route the remainder through the
+                # source column and pull the total from the gate so that
+                # the terminal currents sum to zero.
+                gate, resistance, alpha = spec
+                gate_col = {"cg": 1, "pgs": 2, "pgd": 3}[gate]
+                v_channel = alpha * v_d + (1.0 - alpha) * v_s
+                i_shunt = (volts[..., gate_col] - v_channel) / resistance
+                out[..., gate_col] -= i_shunt
+                out[..., 4] += i_shunt
+        return out
+
+    # ------------------------------------------------------------------
+    # Convenience predicates
+    # ------------------------------------------------------------------
+    def conducts(
+        self, cg: int, pgs: int, pgd: int
+    ) -> bool:
+        """Logic-level conduction predicate of a fault-free CP device.
+
+        Implements the paper's condition: conduction iff
+        ``CG == PGS == PGD`` (all 1: n-type, all 0: p-type); equivalently
+        the device is off iff ``CG xor (PGS and PGD)``.
+        """
+        for value in (cg, pgs, pgd):
+            if value not in (0, 1):
+                raise ValueError(
+                    f"logic-level inputs must be 0 or 1, got {value}"
+                )
+        return cg == pgs == pgd
+
+    def polarity(self, pgs: int, pgd: int) -> str:
+        """Return the configured polarity for logic-level PG values.
+
+        ``'n'`` when both polarity gates are high, ``'p'`` when both are
+        low, ``'off'`` for mixed biases (the device cannot conduct).
+        """
+        if pgs == 1 and pgd == 1:
+            return "n"
+        if pgs == 0 and pgd == 0:
+            return "p"
+        return "off"

@@ -1,0 +1,149 @@
+"""Gate characterisation: truth tables, delay and leakage via SPICE.
+
+These are the measurement routines behind the paper's Fig. 5 experiments
+and behind the library's own validation tests (every cell's DC truth
+table must match its reference Boolean function).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from repro.device.params import DEFAULT_PARAMS, DeviceParameters
+from repro.gates.builder import Testbench, build_cell_circuit
+from repro.gates.cell import Cell
+from repro.spice.dc import solve_dc
+from repro.spice.measure import logic_level, propagation_delay
+from repro.spice.transient import run_transient
+from repro.spice.waveforms import Step
+
+
+@dataclasses.dataclass(frozen=True)
+class GateCharacterisation:
+    """Summary of a gate's electrical behaviour."""
+
+    cell_name: str
+    truth_table_ok: bool
+    worst_delay: float
+    worst_static_leakage: float
+    output_levels: dict[tuple[int, ...], float]
+
+
+def dc_truth_table(
+    bench: Testbench,
+) -> dict[tuple[int, ...], tuple[float, int | None]]:
+    """Measured (voltage, logic value) of ``out`` for every input vector."""
+    cell = bench.cell
+    table: dict[tuple[int, ...], tuple[float, int | None]] = {}
+    for vector in itertools.product((0, 1), repeat=cell.n_inputs):
+        bench.set_vector(vector)
+        op = solve_dc(bench.circuit)
+        v_out = op.voltage("out")
+        table[vector] = (v_out, logic_level(v_out, bench.vdd))
+    return table
+
+
+def verify_truth_table(bench: Testbench) -> bool:
+    """True when the measured DC truth table matches the reference."""
+    reference = bench.cell.truth_table()
+    measured = dc_truth_table(bench)
+    return all(
+        measured[vector][1] == expected
+        for vector, expected in reference.items()
+    )
+
+
+def static_leakage(bench: Testbench, vector: tuple[int, ...]) -> float:
+    """IDDQ (supply current magnitude) for a static input vector."""
+    bench.set_vector(vector)
+    op = solve_dc(bench.circuit)
+    return op.supply_current("vdd")
+
+
+def worst_static_leakage(bench: Testbench) -> tuple[float, tuple[int, ...]]:
+    """Maximum IDDQ over all input vectors, with its vector."""
+    worst = (0.0, (0,) * bench.cell.n_inputs)
+    for vector in itertools.product((0, 1), repeat=bench.cell.n_inputs):
+        leak = static_leakage(bench, vector)
+        if leak > worst[0]:
+            worst = (leak, vector)
+    return worst
+
+
+def transition_delay(
+    bench: Testbench,
+    input_name: str,
+    other_bits: dict[str, int],
+    rising: bool = True,
+    t_edge: float = 200e-12,
+    t_stop: float = 1.4e-9,
+    dt: float = 2e-12,
+) -> float:
+    """Propagation delay for one input edge, other inputs held static.
+
+    Returns ``inf`` when the output never responds (stuck gate).
+    """
+    vdd = bench.vdd
+    for name, bit in other_bits.items():
+        bench.set_input(name, bit * vdd)
+    v0, v1 = (0.0, vdd) if rising else (vdd, 0.0)
+    bench.set_input(input_name, Step(v0, v1, t_edge, 20e-12))
+    result = run_transient(bench.circuit, t_stop, dt)
+    return propagation_delay(result, input_name, "out", vdd)
+
+
+def worst_case_delay(
+    bench: Testbench,
+    t_edge: float = 200e-12,
+    t_stop: float = 1.4e-9,
+    dt: float = 2e-12,
+) -> float:
+    """Worst delay over all single-input transitions that flip the output."""
+    cell = bench.cell
+    reference = cell.truth_table()
+    worst = 0.0
+    for k, input_name in enumerate(cell.inputs):
+        for other_vector in itertools.product(
+            (0, 1), repeat=cell.n_inputs - 1
+        ):
+            bits = list(other_vector)
+            low = tuple(bits[:k] + [0] + bits[k:])
+            high = tuple(bits[:k] + [1] + bits[k:])
+            if reference[low] == reference[high]:
+                continue  # this edge does not flip the output
+            others = {
+                name: bit
+                for name, bit in zip(cell.inputs, low)
+                if name != input_name
+            }
+            for rising in (True, False):
+                delay = transition_delay(
+                    bench, input_name, others, rising=rising,
+                    t_edge=t_edge, t_stop=t_stop, dt=dt,
+                )
+                worst = max(worst, delay)
+    return worst
+
+
+def characterise(
+    cell: Cell,
+    params: DeviceParameters = DEFAULT_PARAMS,
+    fanout: int = 4,
+) -> GateCharacterisation:
+    """Full characterisation of a library cell."""
+    bench = build_cell_circuit(cell, fanout=fanout, params=params)
+    measured = dc_truth_table(bench)
+    reference = cell.truth_table()
+    ok = all(
+        measured[v][1] == expected for v, expected in reference.items()
+    )
+    leak, _vector = worst_static_leakage(bench)
+    delay = worst_case_delay(bench)
+    return GateCharacterisation(
+        cell_name=cell.name,
+        truth_table_ok=ok,
+        worst_delay=delay,
+        worst_static_leakage=leak,
+        output_levels={v: volts for v, (volts, _) in measured.items()},
+    )

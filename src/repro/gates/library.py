@@ -1,0 +1,235 @@
+"""The CP logic-gate library (paper Fig. 2).
+
+Static-polarity (SP) gates tie their polarity gates to the rails
+(pull-up devices p-configured with PG = GND, pull-down devices
+n-configured with PG = VDD): INV, NAND2/3, NOR2/3.
+
+Dynamic-polarity (DP) gates derive the polarity gates from input
+signals, exploiting the intrinsic XOR characteristic of the conduction
+condition ``CG == PGS == PGD``: XOR2, XNOR2, XOR3, MAJ3, MIN3.  Every
+DP network is built from *redundant pairs*: for each conducting input
+combination two devices conduct (one n-configured, one p-configured),
+which restores the output level like a transmission gate — and, as
+Section V-C of the paper exploits, masks single channel breaks.
+
+Transistor names follow the paper where it names them: the INV uses t1
+(pull-up) / t3 (pull-down) as in Fig. 5; NAND/NOR and XOR2 use t1..t4
+with t1/t2 in the pull-up and t3/t4 in the pull-down (Table III).
+"""
+
+from __future__ import annotations
+
+from repro.gates.cell import (
+    Cell,
+    DYNAMIC_POLARITY,
+    STATIC_POLARITY,
+    Transistor,
+)
+
+
+def _pu(name: str, cg: str, d: str = "out", s: str = "vdd") -> Transistor:
+    """SP pull-up: p-configured (polarity gates at GND)."""
+    return Transistor(name, d=d, cg=cg, pgs="gnd", pgd="gnd", s=s,
+                      role="pull_up")
+
+
+def _pd(name: str, cg: str, d: str = "out", s: str = "gnd") -> Transistor:
+    """SP pull-down: n-configured (polarity gates at VDD)."""
+    return Transistor(name, d=d, cg=cg, pgs="vdd", pgd="vdd", s=s,
+                      role="pull_down")
+
+
+def _dp(
+    name: str, cg: str, pg: str, role: str, d: str = "out", s: str = "vdd"
+) -> Transistor:
+    """DP device: both polarity gates driven by the same signal net."""
+    return Transistor(name, d=d, cg=cg, pgs=pg, pgd=pg, s=s, role=role)
+
+
+INV = Cell(
+    name="INV",
+    inputs=("a",),
+    category=STATIC_POLARITY,
+    function=lambda v: 1 - v[0],
+    transistors=(
+        _pu("t1", cg="a"),
+        _pd("t3", cg="a"),
+    ),
+)
+
+NAND2 = Cell(
+    name="NAND2",
+    inputs=("a", "b"),
+    category=STATIC_POLARITY,
+    function=lambda v: 1 - (v[0] & v[1]),
+    transistors=(
+        _pu("t1", cg="a"),
+        _pu("t2", cg="b"),
+        _pd("t3", cg="a", d="out", s="x1"),
+        _pd("t4", cg="b", d="x1", s="gnd"),
+    ),
+)
+
+NOR2 = Cell(
+    name="NOR2",
+    inputs=("a", "b"),
+    category=STATIC_POLARITY,
+    function=lambda v: 1 - (v[0] | v[1]),
+    transistors=(
+        _pu("t1", cg="a", d="x1", s="vdd"),
+        _pu("t2", cg="b", d="out", s="x1"),
+        _pd("t3", cg="a"),
+        _pd("t4", cg="b"),
+    ),
+)
+
+NAND3 = Cell(
+    name="NAND3",
+    inputs=("a", "b", "c"),
+    category=STATIC_POLARITY,
+    function=lambda v: 1 - (v[0] & v[1] & v[2]),
+    transistors=(
+        _pu("t1", cg="a"),
+        _pu("t2", cg="b"),
+        _pu("t3", cg="c"),
+        _pd("t4", cg="a", d="out", s="x1"),
+        _pd("t5", cg="b", d="x1", s="x2"),
+        _pd("t6", cg="c", d="x2", s="gnd"),
+    ),
+)
+
+NOR3 = Cell(
+    name="NOR3",
+    inputs=("a", "b", "c"),
+    category=STATIC_POLARITY,
+    function=lambda v: 1 - (v[0] | v[1] | v[2]),
+    transistors=(
+        _pu("t1", cg="a", d="x1", s="vdd"),
+        _pu("t2", cg="b", d="x2", s="x1"),
+        _pu("t3", cg="c", d="out", s="x2"),
+        _pd("t4", cg="a"),
+        _pd("t5", cg="b"),
+        _pd("t6", cg="c"),
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Dynamic-polarity gates.
+#
+# XOR2 (Table III topology; see DESIGN.md):
+#   t1: CG=~A, PG=B   conducts iff ~A == B   (A xor B)  pull-up
+#   t2: CG=A,  PG=~B  conducts iff A == ~B   (A xor B)  pull-up
+#   t3: CG=~A, PG=~B  conducts iff ~A == ~B  (A == B)   pull-down
+#   t4: CG=A,  PG=B   conducts iff A == B    (A == B)   pull-down
+#
+# The gate assignments within each redundant pair are chosen so that for
+# every conducting input combination one member is n-configured and the
+# other p-configured — the pair acts like a transmission gate, restoring
+# full output swing (pull-up: strong-1 through the p-mode member;
+# pull-down: strong-0 through the n-mode member).
+# ---------------------------------------------------------------------------
+
+XOR2 = Cell(
+    name="XOR2",
+    inputs=("a", "b"),
+    category=DYNAMIC_POLARITY,
+    function=lambda v: v[0] ^ v[1],
+    transistors=(
+        _dp("t1", cg="a_n", pg="b", role="pull_up"),
+        _dp("t2", cg="a", pg="b_n", role="pull_up"),
+        _dp("t3", cg="a_n", pg="b_n", role="pull_down", s="gnd"),
+        _dp("t4", cg="a", pg="b", role="pull_down", s="gnd"),
+    ),
+)
+
+XNOR2 = Cell(
+    name="XNOR2",
+    inputs=("a", "b"),
+    category=DYNAMIC_POLARITY,
+    function=lambda v: 1 - (v[0] ^ v[1]),
+    transistors=(
+        _dp("t1", cg="a", pg="b", role="pull_up"),
+        _dp("t2", cg="a_n", pg="b_n", role="pull_up"),
+        _dp("t3", cg="b_n", pg="a", role="pull_down", s="gnd"),
+        _dp("t4", cg="a_n", pg="b", role="pull_down", s="gnd"),
+    ),
+)
+
+# XOR3: two-stage XOR-intensive realisation.  Stage one computes the
+# intermediate parity x1 = A xor B and its complement x2 = xnor(A, B) with
+# two DP pairs; stage two XORs x1 with C.  This mirrors how parity trees
+# are built from TIG cells in the CP-circuit literature and keeps every
+# network a redundant pair (single channel breaks stay masked).
+XOR3 = Cell(
+    name="XOR3",
+    inputs=("a", "b", "c"),
+    category=DYNAMIC_POLARITY,
+    function=lambda v: v[0] ^ v[1] ^ v[2],
+    transistors=(
+        # x1 = a xor b
+        _dp("t1", cg="a_n", pg="b", role="pull_up", d="x1"),
+        _dp("t2", cg="a", pg="b_n", role="pull_up", d="x1"),
+        _dp("t3", cg="a_n", pg="b_n", role="pull_down", d="x1", s="gnd"),
+        _dp("t4", cg="a", pg="b", role="pull_down", d="x1", s="gnd"),
+        # x2 = xnor(a, b)
+        _dp("t5", cg="a", pg="b", role="pull_up", d="x2"),
+        _dp("t6", cg="a_n", pg="b_n", role="pull_up", d="x2"),
+        _dp("t7", cg="b_n", pg="a", role="pull_down", d="x2", s="gnd"),
+        _dp("t8", cg="a_n", pg="b", role="pull_down", d="x2", s="gnd"),
+        # out = x1 xor c  (x2 serves as the complement of x1)
+        _dp("t9", cg="x2", pg="c", role="pull_up"),
+        _dp("t10", cg="x1", pg="c_n", role="pull_up"),
+        _dp("t11", cg="x2", pg="c_n", role="pull_down", s="gnd"),
+        _dp("t12", cg="x1", pg="c", role="pull_down", s="gnd"),
+    ),
+)
+
+# MAJ3: pass-transistor majority.  If A == C the output follows A (= C),
+# carried by the redundant pair t1/t2 (one member n-mode, one p-mode at
+# each A == C combination); otherwise A != C and the output follows B,
+# carried by t3/t4 (again one member per mode).
+MAJ3 = Cell(
+    name="MAJ3",
+    inputs=("a", "b", "c"),
+    category=DYNAMIC_POLARITY,
+    function=lambda v: 1 if v[0] + v[1] + v[2] >= 2 else 0,
+    transistors=(
+        _dp("t1", cg="c", pg="a", role="pass", d="out", s="a"),
+        _dp("t2", cg="a_n", pg="c_n", role="pass", d="out", s="c"),
+        _dp("t3", cg="a", pg="c_n", role="pass", d="out", s="b"),
+        _dp("t4", cg="c", pg="a_n", role="pass", d="out", s="b"),
+    ),
+)
+
+MIN3 = Cell(
+    name="MIN3",
+    inputs=("a", "b", "c"),
+    category=DYNAMIC_POLARITY,
+    function=lambda v: 0 if v[0] + v[1] + v[2] >= 2 else 1,
+    transistors=(
+        _dp("t1", cg="c", pg="a", role="pass", d="out", s="a_n"),
+        _dp("t2", cg="a_n", pg="c_n", role="pass", d="out", s="c_n"),
+        _dp("t3", cg="a", pg="c_n", role="pass", d="out", s="b_n"),
+        _dp("t4", cg="c", pg="a_n", role="pass", d="out", s="b_n"),
+    ),
+)
+
+ALL_CELLS: dict[str, Cell] = {
+    cell.name: cell
+    for cell in (
+        INV, NAND2, NOR2, NAND3, NOR3, XOR2, XNOR2, XOR3, MAJ3, MIN3
+    )
+}
+
+SP_CELLS = {n: c for n, c in ALL_CELLS.items() if c.category == "SP"}
+DP_CELLS = {n: c for n, c in ALL_CELLS.items() if c.category == "DP"}
+
+
+def get_cell(name: str) -> Cell:
+    """Look up a library cell by name (case-insensitive)."""
+    key = name.upper()
+    if key not in ALL_CELLS:
+        raise KeyError(
+            f"unknown cell {name!r}; available: {sorted(ALL_CELLS)}"
+        )
+    return ALL_CELLS[key]

@@ -1,0 +1,102 @@
+"""Text netlist format (ISCAS .bench dialect with CP gate types).
+
+Example::
+
+    # c17-style netlist
+    INPUT(a)
+    INPUT(b)
+    OUTPUT(y)
+    n1 = NAND2(a, b)
+    y  = XOR2(n1, a)
+
+Gate names are auto-derived from output nets (``g_<net>``) on parsing;
+writing emits one line per gate in topological order.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.logic.network import GATE_ARITY, Network
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[A-Za-z0-9_.\[\]]+)\s*=\s*"
+    r"(?P<type>[A-Za-z0-9]+)\s*\((?P<args>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(
+    r"^\s*(?P<kind>INPUT|OUTPUT)\s*\((?P<net>[A-Za-z0-9_.\[\]]+)\)\s*$"
+)
+
+#: Aliases accepted on parse for convenience / ISCAS compatibility.
+_TYPE_ALIASES = {
+    "NOT": "INV",
+    "BUFF": "BUF",
+    "NAND": "NAND2",
+    "NOR": "NOR2",
+    "AND": "AND2",
+    "OR": "OR2",
+    "XOR": "XOR2",
+    "XNOR": "XNOR2",
+    "MAJ": "MAJ3",
+    "MIN": "MIN3",
+}
+
+
+def _canonical_type(raw: str, n_args: int) -> str:
+    gtype = raw.upper()
+    if gtype in GATE_ARITY:
+        return gtype
+    # Arity-suffixed resolution first (NAND with 3 args -> NAND3), then
+    # the fixed aliases (NOT -> INV etc.).
+    candidate = f"{gtype}{n_args}"
+    if candidate in GATE_ARITY:
+        return candidate
+    if gtype in _TYPE_ALIASES:
+        return _TYPE_ALIASES[gtype]
+    raise ValueError(f"unknown gate type {raw!r}")
+
+
+def parse_bench(text: str, name: str = "") -> Network:
+    """Parse a .bench-style netlist into a :class:`Network`."""
+    network = Network(name)
+    pending_gates: list[tuple[str, str, list[str]]] = []
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            if io_match.group("kind") == "INPUT":
+                network.add_input(io_match.group("net"))
+            else:
+                network.add_output(io_match.group("net"))
+            continue
+        gate_match = _LINE_RE.match(line)
+        if gate_match:
+            out = gate_match.group("out")
+            args = [
+                a.strip()
+                for a in gate_match.group("args").split(",")
+                if a.strip()
+            ]
+            gtype = _canonical_type(gate_match.group("type"), len(args))
+            pending_gates.append((out, gtype, args))
+            continue
+        raise ValueError(f"line {lineno}: cannot parse {raw_line!r}")
+    for out, gtype, args in pending_gates:
+        network.add_gate(f"g_{out}", gtype, args, out)
+    network.validate()
+    return network
+
+
+def write_bench(network: Network) -> str:
+    """Serialise a network back to the .bench dialect."""
+    lines = [f"# {network.name}" if network.name else "# network"]
+    for net in network.primary_inputs:
+        lines.append(f"INPUT({net})")
+    for net in network.primary_outputs:
+        lines.append(f"OUTPUT({net})")
+    for gate in network.levelized():
+        args = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {gate.gtype}({args})")
+    return "\n".join(lines) + "\n"

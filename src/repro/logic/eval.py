@@ -1,0 +1,147 @@
+"""Gate evaluation functions over binary, ternary and D-calculus values."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.logic.values import (
+    DValue,
+    d_and,
+    d_not,
+    d_or,
+    d_xor,
+    t_and_all,
+    t_not,
+    t_or_all,
+    t_xor_all,
+)
+
+# ---------------------------------------------------------------------------
+# Binary (fast path, ints 0/1)
+# ---------------------------------------------------------------------------
+
+BINARY_FUNCS: dict[str, Callable[[Sequence[int]], int]] = {
+    "BUF": lambda v: v[0],
+    "INV": lambda v: 1 - v[0],
+    "AND2": lambda v: v[0] & v[1],
+    "AND3": lambda v: v[0] & v[1] & v[2],
+    "OR2": lambda v: v[0] | v[1],
+    "OR3": lambda v: v[0] | v[1] | v[2],
+    "NAND2": lambda v: 1 - (v[0] & v[1]),
+    "NAND3": lambda v: 1 - (v[0] & v[1] & v[2]),
+    "NOR2": lambda v: 1 - (v[0] | v[1]),
+    "NOR3": lambda v: 1 - (v[0] | v[1] | v[2]),
+    "XOR2": lambda v: v[0] ^ v[1],
+    "XNOR2": lambda v: 1 - (v[0] ^ v[1]),
+    "XOR3": lambda v: v[0] ^ v[1] ^ v[2],
+    "MAJ3": lambda v: 1 if v[0] + v[1] + v[2] >= 2 else 0,
+    "MIN3": lambda v: 0 if v[0] + v[1] + v[2] >= 2 else 1,
+}
+
+
+def eval_binary(gtype: str, inputs: Sequence[int]) -> int:
+    """Evaluate a gate over 0/1 inputs."""
+    return BINARY_FUNCS[gtype](inputs)
+
+
+# ---------------------------------------------------------------------------
+# Ternary (0/1/X)
+# ---------------------------------------------------------------------------
+
+def eval_ternary(gtype: str, inputs: Sequence[int]) -> int:
+    """Evaluate a gate over ternary inputs with Kleene X-propagation."""
+    if gtype == "BUF":
+        return inputs[0] if inputs[0] in (0, 1) else 2
+    if gtype == "INV":
+        return t_not(inputs[0])
+    if gtype in ("AND2", "AND3"):
+        return t_and_all(inputs)
+    if gtype in ("OR2", "OR3"):
+        return t_or_all(inputs)
+    if gtype in ("NAND2", "NAND3"):
+        return t_not(t_and_all(inputs))
+    if gtype in ("NOR2", "NOR3"):
+        return t_not(t_or_all(inputs))
+    if gtype in ("XOR2", "XOR3"):
+        return t_xor_all(inputs)
+    if gtype == "XNOR2":
+        return t_not(t_xor_all(inputs))
+    if gtype in ("MAJ3", "MIN3"):
+        ones = sum(1 for v in inputs if v == 1)
+        zeros = sum(1 for v in inputs if v == 0)
+        if ones >= 2:
+            value = 1
+        elif zeros >= 2:
+            value = 0
+        else:
+            value = 2
+        if gtype == "MIN3":
+            value = t_not(value)
+        return value
+    raise ValueError(f"unknown gate type {gtype!r}")
+
+
+# ---------------------------------------------------------------------------
+# D-calculus (five-valued, for PODEM)
+# ---------------------------------------------------------------------------
+
+def eval_dvalue(gtype: str, inputs: Sequence[DValue]) -> DValue:
+    """Evaluate a gate over D-calculus values."""
+    if gtype == "BUF":
+        return inputs[0]
+    if gtype == "INV":
+        return d_not(inputs[0])
+    if gtype in ("AND2", "AND3"):
+        out = inputs[0]
+        for v in inputs[1:]:
+            out = d_and(out, v)
+        return out
+    if gtype in ("OR2", "OR3"):
+        out = inputs[0]
+        for v in inputs[1:]:
+            out = d_or(out, v)
+        return out
+    if gtype in ("NAND2", "NAND3"):
+        out = inputs[0]
+        for v in inputs[1:]:
+            out = d_and(out, v)
+        return d_not(out)
+    if gtype in ("NOR2", "NOR3"):
+        out = inputs[0]
+        for v in inputs[1:]:
+            out = d_or(out, v)
+        return d_not(out)
+    if gtype in ("XOR2", "XOR3"):
+        out = inputs[0]
+        for v in inputs[1:]:
+            out = d_xor(out, v)
+        return out
+    if gtype == "XNOR2":
+        return d_not(d_xor(inputs[0], inputs[1]))
+    if gtype == "MAJ3":
+        a, b, c = inputs
+        return d_or(d_or(d_and(a, b), d_and(b, c)), d_and(a, c))
+    if gtype == "MIN3":
+        a, b, c = inputs
+        return d_not(d_or(d_or(d_and(a, b), d_and(b, c)), d_and(a, c)))
+    raise ValueError(f"unknown gate type {gtype!r}")
+
+
+# ---------------------------------------------------------------------------
+# Controlling / inversion properties (used by PODEM backtrace)
+# ---------------------------------------------------------------------------
+
+#: Gate type -> (controlling input value, output inversion) for the types
+#: with a controlling value; XOR-like and MAJ-like gates have none.
+CONTROLLING = {
+    "AND2": (0, False),
+    "AND3": (0, False),
+    "NAND2": (0, True),
+    "NAND3": (0, True),
+    "OR2": (1, False),
+    "OR3": (1, False),
+    "NOR2": (1, True),
+    "NOR3": (1, True),
+}
+
+INVERTING = {"INV", "NAND2", "NAND3", "NOR2", "NOR3", "XNOR2", "MIN3"}

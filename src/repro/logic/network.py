@@ -1,0 +1,195 @@
+"""Gate-level combinational networks.
+
+A :class:`Network` is a DAG of library gates over named nets, with
+primary inputs and outputs.  Gate types map 1:1 onto the transistor-level
+cells of :mod:`repro.gates.library` (plus ``BUF``, and the AND/OR
+conveniences which map to NAND/NOR followed by an inverter on silicon).
+The ATPG engine (:mod:`repro.atpg`) runs on these networks; the
+:mod:`repro.logic.bench_format` module reads/writes them as text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+GATE_ARITY = {
+    "BUF": 1,
+    "INV": 1,
+    "NAND2": 2,
+    "NAND3": 3,
+    "NOR2": 2,
+    "NOR3": 3,
+    "AND2": 2,
+    "AND3": 3,
+    "OR2": 2,
+    "OR3": 3,
+    "XOR2": 2,
+    "XNOR2": 2,
+    "XOR3": 3,
+    "MAJ3": 3,
+    "MIN3": 3,
+}
+
+#: Gate types realised as dynamic-polarity cells (polarity faults apply).
+DP_GATE_TYPES = frozenset({"XOR2", "XNOR2", "XOR3", "MAJ3", "MIN3"})
+
+#: Gate types realised as static-polarity cells.
+SP_GATE_TYPES = frozenset(
+    {"BUF", "INV", "NAND2", "NAND3", "NOR2", "NOR3",
+     "AND2", "AND3", "OR2", "OR3"}
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Gate:
+    """One gate instance.
+
+    Attributes:
+        name: Unique instance name.
+        gtype: Gate type from :data:`GATE_ARITY`.
+        inputs: Input net names (ordered).
+        output: Output net name.
+    """
+
+    name: str
+    gtype: str
+    inputs: tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        if self.gtype not in GATE_ARITY:
+            raise ValueError(f"unknown gate type {self.gtype!r}")
+        if len(self.inputs) != GATE_ARITY[self.gtype]:
+            raise ValueError(
+                f"{self.name}: {self.gtype} takes "
+                f"{GATE_ARITY[self.gtype]} inputs, got {len(self.inputs)}"
+            )
+
+    @property
+    def is_dp(self) -> bool:
+        return self.gtype in DP_GATE_TYPES
+
+
+class Network:
+    """A combinational gate-level network."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.primary_inputs: list[str] = []
+        self.primary_outputs: list[str] = []
+        self.gates: dict[str, Gate] = {}
+        self._driver: dict[str, str] = {}  # net -> gate name
+        self._levelized: list[Gate] | None = None
+
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> None:
+        if net in self.primary_inputs:
+            raise ValueError(f"duplicate primary input {net!r}")
+        if net in self._driver:
+            raise ValueError(f"net {net!r} already driven by a gate")
+        self.primary_inputs.append(net)
+        self._levelized = None
+
+    def add_output(self, net: str) -> None:
+        if net in self.primary_outputs:
+            raise ValueError(f"duplicate primary output {net!r}")
+        self.primary_outputs.append(net)
+        self._levelized = None
+
+    def add_gate(
+        self, name: str, gtype: str, inputs: list[str] | tuple[str, ...],
+        output: str,
+    ) -> Gate:
+        if name in self.gates:
+            raise ValueError(f"duplicate gate name {name!r}")
+        if output in self._driver:
+            raise ValueError(f"net {output!r} already driven")
+        if output in self.primary_inputs:
+            raise ValueError(f"net {output!r} is a primary input")
+        gate = Gate(name, gtype.upper(), tuple(inputs), output)
+        self.gates[name] = gate
+        self._driver[output] = name
+        self._levelized = None
+        return gate
+
+    # ------------------------------------------------------------------
+    def driver_of(self, net: str) -> Gate | None:
+        """The gate driving ``net``, or None for primary inputs."""
+        name = self._driver.get(net)
+        return self.gates[name] if name is not None else None
+
+    def fanout_of(self, net: str) -> list[Gate]:
+        """Gates that consume ``net``."""
+        return [g for g in self.gates.values() if net in g.inputs]
+
+    def nets(self) -> list[str]:
+        found = set(self.primary_inputs)
+        for g in self.gates.values():
+            found.update(g.inputs)
+            found.add(g.output)
+        return sorted(found)
+
+    def validate(self) -> None:
+        """Check structural sanity: drivers exist, no loops."""
+        for g in self.gates.values():
+            for net in g.inputs:
+                if net not in self.primary_inputs and net not in self._driver:
+                    raise ValueError(
+                        f"gate {g.name}: input net {net!r} has no driver"
+                    )
+        for net in self.primary_outputs:
+            if net not in self._driver and net not in self.primary_inputs:
+                raise ValueError(f"primary output {net!r} has no driver")
+        self.levelized()  # raises on combinational loops
+
+    def levelized(self) -> list[Gate]:
+        """Gates in topological order (cached)."""
+        if self._levelized is not None:
+            return self._levelized
+        order: list[Gate] = []
+        placed: set[str] = set(self.primary_inputs)
+        remaining = dict(self.gates)
+        while remaining:
+            ready = [
+                g for g in remaining.values()
+                if all(n in placed for n in g.inputs)
+            ]
+            if not ready:
+                raise ValueError(
+                    f"combinational loop or missing driver in {self.name!r}"
+                )
+            for g in sorted(ready, key=lambda g: g.name):
+                order.append(g)
+                placed.add(g.output)
+                del remaining[g.name]
+        self._levelized = order
+        return order
+
+    def depth(self) -> int:
+        """Logic depth (levels of gates on the longest path)."""
+        level: dict[str, int] = {n: 0 for n in self.primary_inputs}
+        depth = 0
+        for g in self.levelized():
+            lvl = 1 + max((level.get(n, 0) for n in g.inputs), default=0)
+            level[g.output] = lvl
+            depth = max(depth, lvl)
+        return depth
+
+    def stats(self) -> dict[str, int]:
+        """Size summary: gate counts by type plus totals."""
+        by_type: dict[str, int] = {}
+        for g in self.gates.values():
+            by_type[g.gtype] = by_type.get(g.gtype, 0) + 1
+        return {
+            "gates": len(self.gates),
+            "inputs": len(self.primary_inputs),
+            "outputs": len(self.primary_outputs),
+            "depth": self.depth(),
+            **{f"n_{t.lower()}": c for t, c in sorted(by_type.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({self.name!r}: {len(self.primary_inputs)} PI, "
+            f"{len(self.primary_outputs)} PO, {len(self.gates)} gates)"
+        )

@@ -1,0 +1,156 @@
+"""Multi-valued logic for simulation and test generation.
+
+Two value systems are used:
+
+* **Ternary** (0, 1, X) for plain logic simulation with unknowns —
+  :data:`ZERO`, :data:`ONE`, :data:`X`, plus :data:`Z` (high impedance /
+  charge retention) used by the switch-level engine.
+* **Five-valued D-calculus** (0, 1, X, D, D') for PODEM-style ATPG:
+  a :class:`DValue` carries a (good-machine, faulty-machine) component
+  pair; ``D`` means good 1 / faulty 0, ``Dbar`` the converse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+ZERO = 0
+ONE = 1
+X = 2
+Z = 3
+
+_TERNARY_NAMES = {ZERO: "0", ONE: "1", X: "X", Z: "Z"}
+
+
+def ternary_name(value: int) -> str:
+    """Printable name of a ternary/Z logic value."""
+    try:
+        return _TERNARY_NAMES[value]
+    except KeyError:
+        raise ValueError(f"not a logic value: {value!r}") from None
+
+
+def t_not(a: int) -> int:
+    """Ternary NOT (Z treated as unknown)."""
+    if a == ZERO:
+        return ONE
+    if a == ONE:
+        return ZERO
+    return X
+
+
+def t_and(a: int, b: int) -> int:
+    """Ternary AND (Kleene)."""
+    if a == ZERO or b == ZERO:
+        return ZERO
+    if a == ONE and b == ONE:
+        return ONE
+    return X
+
+
+def t_or(a: int, b: int) -> int:
+    """Ternary OR (Kleene)."""
+    if a == ONE or b == ONE:
+        return ONE
+    if a == ZERO and b == ZERO:
+        return ZERO
+    return X
+
+
+def t_xor(a: int, b: int) -> int:
+    """Ternary XOR."""
+    if X in (a, b) or Z in (a, b):
+        return X
+    return a ^ b
+
+
+def t_and_all(values) -> int:
+    out = ONE
+    for v in values:
+        out = t_and(out, v)
+    return out
+
+
+def t_or_all(values) -> int:
+    out = ZERO
+    for v in values:
+        out = t_or(out, v)
+    return out
+
+
+def t_xor_all(values) -> int:
+    out = ZERO
+    for v in values:
+        out = t_xor(out, v)
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class DValue:
+    """A five-valued D-calculus value: (good, faulty) ternary components."""
+
+    good: int
+    faulty: int
+
+    def __post_init__(self) -> None:
+        for component in (self.good, self.faulty):
+            if component not in (ZERO, ONE, X):
+                raise ValueError(
+                    f"DValue components must be 0/1/X, got {component!r}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DValue({self.name})"
+
+    @property
+    def name(self) -> str:
+        table = {
+            (ZERO, ZERO): "0",
+            (ONE, ONE): "1",
+            (ONE, ZERO): "D",
+            (ZERO, ONE): "D'",
+        }
+        return table.get((self.good, self.faulty), "X")
+
+    @property
+    def is_known(self) -> bool:
+        return self.good != X and self.faulty != X
+
+    @property
+    def is_fault_effect(self) -> bool:
+        """True for D or D': good and faulty machines disagree."""
+        return (
+            self.good != X
+            and self.faulty != X
+            and self.good != self.faulty
+        )
+
+
+D_ZERO = DValue(ZERO, ZERO)
+D_ONE = DValue(ONE, ONE)
+D_X = DValue(X, X)
+D = DValue(ONE, ZERO)
+DBAR = DValue(ZERO, ONE)
+
+
+def from_ternary(value: int) -> DValue:
+    """Lift a ternary value into the D-calculus (no fault effect)."""
+    if value in (X, Z):
+        return D_X
+    return DValue(value, value)
+
+
+def d_not(a: DValue) -> DValue:
+    return DValue(t_not(a.good), t_not(a.faulty))
+
+
+def d_and(a: DValue, b: DValue) -> DValue:
+    return DValue(t_and(a.good, b.good), t_and(a.faulty, b.faulty))
+
+
+def d_or(a: DValue, b: DValue) -> DValue:
+    return DValue(t_or(a.good, b.good), t_or(a.faulty, b.faulty))
+
+
+def d_xor(a: DValue, b: DValue) -> DValue:
+    return DValue(t_xor(a.good, b.good), t_xor(a.faulty, b.faulty))

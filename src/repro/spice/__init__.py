@@ -1,0 +1,59 @@
+"""Circuit-simulation substrate (the paper's HSPICE stand-in).
+
+Modified nodal analysis with Newton-Raphson DC (gmin continuation) and
+backward-Euler transient integration; vectorised TIG-SiNWFET evaluation;
+delay/leakage (IDDQ) measurement helpers.
+"""
+
+from repro.spice.dc import OperatingPoint, solve_dc, sweep_dc
+from repro.spice.measure import (
+    logic_level,
+    output_swing,
+    propagation_delay,
+    settles_to,
+    threshold_crossings,
+)
+from repro.spice.mna import ConvergenceError, MNASystem, NewtonOptions
+from repro.spice.netlist import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    DeviceInstance,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.transient import (
+    TransientResult,
+    operating_point_from_result,
+    run_transient,
+)
+from repro.spice.waveforms import DC, PWL, Pulse, Step, Waveform, bit_sequence
+
+__all__ = [
+    "Capacitor",
+    "Circuit",
+    "ConvergenceError",
+    "CurrentSource",
+    "DC",
+    "DeviceInstance",
+    "MNASystem",
+    "NewtonOptions",
+    "OperatingPoint",
+    "PWL",
+    "Pulse",
+    "Resistor",
+    "Step",
+    "TransientResult",
+    "VoltageSource",
+    "Waveform",
+    "bit_sequence",
+    "logic_level",
+    "operating_point_from_result",
+    "output_swing",
+    "propagation_delay",
+    "run_transient",
+    "settles_to",
+    "solve_dc",
+    "sweep_dc",
+    "threshold_crossings",
+]

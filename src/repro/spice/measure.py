@@ -1,0 +1,106 @@
+"""Measurement utilities: crossings, propagation delay, leakage, swing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.transient import TransientResult
+
+
+def threshold_crossings(
+    times: np.ndarray,
+    values: np.ndarray,
+    threshold: float,
+    direction: str = "both",
+) -> list[float]:
+    """Interpolated times where ``values`` crosses ``threshold``.
+
+    Args:
+        direction: 'rise', 'fall' or 'both'.
+    """
+    if direction not in ("rise", "fall", "both"):
+        raise ValueError(f"bad direction {direction!r}")
+    crossings: list[float] = []
+    below = values < threshold
+    for k in range(1, len(values)):
+        if below[k - 1] == below[k]:
+            continue
+        rising = below[k - 1] and not below[k]
+        if direction == "rise" and not rising:
+            continue
+        if direction == "fall" and rising:
+            continue
+        v0, v1 = values[k - 1], values[k]
+        t0, t1 = times[k - 1], times[k]
+        frac = (threshold - v0) / (v1 - v0)
+        crossings.append(float(t0 + frac * (t1 - t0)))
+    return crossings
+
+
+def propagation_delay(
+    result: TransientResult,
+    input_node: str,
+    output_node: str,
+    vdd: float,
+    edge: str = "both",
+) -> float:
+    """Worst-case 50 %-to-50 % propagation delay.
+
+    Pairs each input edge with the first subsequent output crossing and
+    returns the maximum delay over the requested ``edge`` kinds ('rise'
+    and 'fall' refer to the *input* edge).  Returns ``inf`` when an input
+    edge never produces an output response — the transient signature of a
+    stuck (non-functional) gate.
+    """
+    threshold = vdd / 2.0
+    v_in = result.voltage(input_node)
+    v_out = result.voltage(output_node)
+    kinds = ("rise", "fall") if edge == "both" else (edge,)
+    worst = 0.0
+    for kind in kinds:
+        in_edges = threshold_crossings(
+            result.times, v_in, threshold, direction=kind
+        )
+        out_edges = threshold_crossings(result.times, v_out, threshold)
+        for t_in in in_edges:
+            later = [t for t in out_edges if t > t_in]
+            if not later:
+                return float("inf")
+            worst = max(worst, later[0] - t_in)
+    return worst
+
+
+def output_swing(result: TransientResult, node: str) -> tuple[float, float]:
+    """(min, max) voltage reached at ``node`` over the run."""
+    v = result.voltage(node)
+    return float(np.min(v)), float(np.max(v))
+
+
+def settles_to(
+    result: TransientResult,
+    node: str,
+    level: float,
+    tolerance: float,
+    tail_fraction: float = 0.05,
+) -> bool:
+    """True when the node's trailing average is within ``tolerance`` of
+    ``level``."""
+    v = result.voltage(node)
+    tail = max(1, int(len(v) * tail_fraction))
+    return abs(float(np.mean(v[-tail:])) - level) <= tolerance
+
+
+def logic_level(
+    voltage: float, vdd: float, low_fraction: float = 0.35,
+    high_fraction: float = 0.65,
+) -> int | None:
+    """Interpret a node voltage as a logic value.
+
+    Returns 0/1, or ``None`` in the indeterminate band — which a tester
+    flags as a failing output.
+    """
+    if voltage <= vdd * low_fraction:
+        return 0
+    if voltage >= vdd * high_fraction:
+        return 1
+    return None

@@ -1,0 +1,253 @@
+"""Modified nodal analysis (MNA) assembly and Newton iteration.
+
+Unknown vector layout: node voltages (all non-ground nodes in sorted
+order) followed by one branch current per voltage source.  Nonlinear
+device currents and their Jacobians are evaluated with vectorised
+finite differences: devices sharing a compact-model instance are grouped
+and evaluated in a single numpy call over a ``(n_devices, 6, 5)``
+perturbation tensor (base point + one perturbation per terminal).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.spice.netlist import Circuit, DEVICE_TERMINALS
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when Newton iteration fails to converge."""
+
+
+@dataclasses.dataclass
+class NewtonOptions:
+    """Newton-iteration tuning knobs.
+
+    The gmin continuation ends at 1e-12 S (not zero), the conventional
+    SPICE floor: it adds at most ~1 pA per volt of bias — far below every
+    leakage observable here — and keeps hard fault-contention cases
+    solvable.
+    """
+
+    max_iterations: int = 300
+    v_tolerance: float = 1e-7
+    residual_tolerance: float = 1e-10
+    v_limit_step: float = 0.15
+    gmin_steps: tuple[float, ...] = (1e-3, 1e-5, 1e-7, 1e-9, 1e-12)
+
+
+_FD_STEP = 1e-5
+"""Finite-difference voltage perturbation for device Jacobians [V]."""
+
+
+class MNASystem:
+    """Assembled MNA representation of a :class:`Circuit`."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.node_names = circuit.nodes()
+        self.node_index = {n: k for k, n in enumerate(self.node_names)}
+        self.vsource_names = sorted(circuit.vsources)
+        self.n_nodes = len(self.node_names)
+        self.size = self.n_nodes + len(self.vsource_names)
+        self._build_linear()
+        self._build_device_groups()
+
+    # ------------------------------------------------------------------
+    def _index(self, node: str) -> int:
+        """Index of a node in the unknown vector, -1 for ground."""
+        if Circuit.is_ground(node):
+            return -1
+        return self.node_index[node]
+
+    def _build_linear(self) -> None:
+        """Stamp resistors and voltage-source incidence (time-invariant)."""
+        g = np.zeros((self.size, self.size))
+        for r in self.circuit.resistors.values():
+            conductance = 1.0 / r.resistance
+            a, b = self._index(r.a), self._index(r.b)
+            if a >= 0:
+                g[a, a] += conductance
+            if b >= 0:
+                g[b, b] += conductance
+            if a >= 0 and b >= 0:
+                g[a, b] -= conductance
+                g[b, a] -= conductance
+        for k, name in enumerate(self.vsource_names):
+            src = self.circuit.vsources[name]
+            row = self.n_nodes + k
+            p, n = self._index(src.pos), self._index(src.neg)
+            if p >= 0:
+                g[row, p] += 1.0
+                g[p, row] += 1.0
+            if n >= 0:
+                g[row, n] -= 1.0
+                g[n, row] -= 1.0
+        self.g_linear = g
+
+    def _build_device_groups(self) -> None:
+        """Group devices by compact-model identity for vectorised eval."""
+        groups: dict[int, list[str]] = {}
+        for name, dev in self.circuit.devices.items():
+            groups.setdefault(id(dev.model), []).append(name)
+        self.device_groups: list[tuple[object, list[str], np.ndarray]] = []
+        for names in groups.values():
+            names.sort()
+            model = self.circuit.devices[names[0]].model
+            index_matrix = np.empty((len(names), 5), dtype=int)
+            for i, dev_name in enumerate(names):
+                dev = self.circuit.devices[dev_name]
+                for j, term in enumerate(DEVICE_TERMINALS):
+                    index_matrix[i, j] = self._index(getattr(dev, term))
+            self.device_groups.append((model, names, index_matrix))
+
+    # ------------------------------------------------------------------
+    def source_rhs(self, t: float) -> np.ndarray:
+        """Right-hand side from independent sources at time ``t``."""
+        b = np.zeros(self.size)
+        for k, name in enumerate(self.vsource_names):
+            b[self.n_nodes + k] = self.circuit.vsources[name].waveform(t)
+        for src in self.circuit.isources.values():
+            value = src.waveform(t)
+            p, n = self._index(src.pos), self._index(src.neg)
+            if p >= 0:
+                b[p] -= value
+            if n >= 0:
+                b[n] += value
+        return b
+
+    def _terminal_voltages(
+        self, x: np.ndarray, index_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Gather device terminal voltages from the unknown vector."""
+        volts = np.where(
+            index_matrix >= 0, x[np.clip(index_matrix, 0, None)], 0.0
+        )
+        return volts
+
+    def device_contributions(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Nonlinear current vector and Jacobian at solution estimate ``x``.
+
+        Returns ``(i_dev, j_dev)`` where ``i_dev`` has the device currents
+        summed into node rows, and ``j_dev`` the corresponding
+        conductance Jacobian.
+        """
+        i_dev = np.zeros(self.size)
+        j_dev = np.zeros((self.size, self.size))
+        for model, _names, index_matrix in self.device_groups:
+            base = self._terminal_voltages(x, index_matrix)  # (n, 5)
+            n = base.shape[0]
+            # Perturbation tensor: slot 0 is the base point, slots 1..5
+            # perturb one terminal each (only where the terminal is a real
+            # unknown; ground terminals keep zero volts and need no column).
+            pert = np.broadcast_to(base[:, None, :], (n, 6, 5)).copy()
+            for j in range(5):
+                pert[:, j + 1, j] += _FD_STEP
+            currents = model.terminal_current_matrix(pert)  # (n, 6, 5)
+            i_base = currents[:, 0, :]
+            didv = (currents[:, 1:, :] - currents[:, None, 0, :]) / _FD_STEP
+            # didv[k, j, t]: d(I into terminal t)/d(V of terminal j).
+            for dev in range(n):
+                rows = index_matrix[dev]
+                for t_term in range(5):
+                    row = rows[t_term]
+                    if row < 0:
+                        continue
+                    i_dev[row] += i_base[dev, t_term]
+                    for j_term in range(5):
+                        col = rows[j_term]
+                        if col < 0:
+                            continue
+                        j_dev[row, col] += didv[dev, j_term, t_term]
+        return i_dev, j_dev
+
+    # ------------------------------------------------------------------
+    def solve_newton(
+        self,
+        x0: np.ndarray,
+        b: np.ndarray,
+        g_extra: np.ndarray | None = None,
+        i_extra: np.ndarray | None = None,
+        options: NewtonOptions | None = None,
+        gmin: float = 0.0,
+    ) -> np.ndarray:
+        """Solve ``G x + I_dev(x) - b = 0`` by damped Newton iteration.
+
+        Args:
+            x0: Initial guess.
+            b: Source right-hand side.
+            g_extra: Additional linear conductances (capacitor companions).
+            i_extra: Additional constant currents (companion histories).
+            options: Newton options.
+            gmin: Conductance from every node to ground (homotopy aid).
+        """
+        opts = options or NewtonOptions()
+        g = self.g_linear
+        if g_extra is not None:
+            g = g + g_extra
+        if gmin > 0.0:
+            g = g.copy()
+            idx = np.arange(self.n_nodes)
+            g[idx, idx] += gmin
+        x = x0.copy()
+        for iteration in range(opts.max_iterations):
+            i_dev, j_dev = self.device_contributions(x)
+            residual = g @ x + i_dev - b
+            if i_extra is not None:
+                residual = residual + i_extra
+            jacobian = g + j_dev
+            try:
+                delta = np.linalg.solve(jacobian, -residual)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(
+                    f"singular Jacobian in circuit {self.circuit.title!r}"
+                ) from exc
+            # Voltage limiting on node unknowns only.  The limit shrinks
+            # as iterations accumulate, which breaks the two-point limit
+            # cycles steep exponential devices can otherwise sustain.
+            limit = opts.v_limit_step / (1 + iteration // 60)
+            v_part = delta[: self.n_nodes]
+            worst = np.max(np.abs(v_part)) if v_part.size else 0.0
+            if worst > limit:
+                delta = delta * (limit / worst)
+            x = x + delta
+            if (
+                np.max(np.abs(delta[: self.n_nodes]), initial=0.0)
+                < opts.v_tolerance
+                and np.max(np.abs(residual)) < opts.residual_tolerance
+            ):
+                return x
+        raise ConvergenceError(
+            f"Newton failed to converge in {opts.max_iterations} iterations "
+            f"(circuit {self.circuit.title!r}, gmin={gmin:g})"
+        )
+
+    def solve_dc_continuation(
+        self,
+        t: float = 0.0,
+        x0: np.ndarray | None = None,
+        options: NewtonOptions | None = None,
+    ) -> np.ndarray:
+        """DC operating point with gmin stepping.
+
+        Starts from a heavily damped system (large gmin to ground pulls
+        every node toward a solvable state) and relaxes gmin toward zero,
+        reusing each solution as the next initial guess.
+        """
+        opts = options or NewtonOptions()
+        b = self.source_rhs(t)
+        x = x0.copy() if x0 is not None else np.zeros(self.size)
+        last_error: Exception | None = None
+        for gmin in opts.gmin_steps:
+            try:
+                x = self.solve_newton(x, b, options=opts, gmin=gmin)
+                last_error = None
+            except ConvergenceError as exc:
+                last_error = exc
+        if last_error is not None:
+            raise last_error
+        return x

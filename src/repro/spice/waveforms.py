@@ -1,0 +1,149 @@
+"""Source waveforms for the circuit simulator (DC, PWL, pulse, step)."""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+
+
+class Waveform:
+    """Base class: a scalar function of time."""
+
+    def value(self, t: float) -> float:
+        raise NotImplementedError
+
+    def __call__(self, t: float) -> float:
+        return self.value(t)
+
+
+@dataclasses.dataclass(frozen=True)
+class DC(Waveform):
+    """Constant level."""
+
+    level: float
+
+    def value(self, t: float) -> float:
+        del t
+        return self.level
+
+
+@dataclasses.dataclass(frozen=True)
+class PWL(Waveform):
+    """Piece-wise linear waveform given as (time, value) points.
+
+    Holds the first value before the first point and the last value after
+    the last point.
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("PWL needs at least one point")
+        times = [t for t, _ in self.points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("PWL times must be strictly increasing")
+
+    def value(self, t: float) -> float:
+        times = [p[0] for p in self.points]
+        if t <= times[0]:
+            return self.points[0][1]
+        if t >= times[-1]:
+            return self.points[-1][1]
+        k = bisect.bisect_right(times, t)
+        t0, v0 = self.points[k - 1]
+        t1, v1 = self.points[k]
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+
+@dataclasses.dataclass(frozen=True)
+class Step(Waveform):
+    """A single linear-ramp transition from ``v0`` to ``v1``."""
+
+    v0: float
+    v1: float
+    t_step: float
+    t_rise: float = 10e-12
+
+    def value(self, t: float) -> float:
+        if t <= self.t_step:
+            return self.v0
+        if t >= self.t_step + self.t_rise:
+            return self.v1
+        frac = (t - self.t_step) / self.t_rise
+        return self.v0 + (self.v1 - self.v0) * frac
+
+
+@dataclasses.dataclass(frozen=True)
+class Pulse(Waveform):
+    """Periodic trapezoidal pulse (SPICE PULSE-style).
+
+    Starts at ``v0``, rises to ``v1`` after ``t_delay``, stays high for
+    ``t_width`` and repeats every ``t_period``.
+    """
+
+    v0: float
+    v1: float
+    t_delay: float
+    t_rise: float
+    t_fall: float
+    t_width: float
+    t_period: float
+
+    def __post_init__(self) -> None:
+        active = self.t_rise + self.t_width + self.t_fall
+        if self.t_period <= 0 or active > self.t_period:
+            raise ValueError("pulse timing does not fit in the period")
+
+    def value(self, t: float) -> float:
+        if t < self.t_delay:
+            return self.v0
+        tau = (t - self.t_delay) % self.t_period
+        if tau < self.t_rise:
+            return self.v0 + (self.v1 - self.v0) * tau / self.t_rise
+        tau -= self.t_rise
+        if tau < self.t_width:
+            return self.v1
+        tau -= self.t_width
+        if tau < self.t_fall:
+            return self.v1 + (self.v0 - self.v1) * tau / self.t_fall
+        return self.v0
+
+
+@dataclasses.dataclass(frozen=True)
+class Complement(Waveform):
+    """``vdd - base(t)``: the rail-referenced complement of a waveform.
+
+    DP logic gates receive complemented inputs (Fig. 2); testbenches use
+    this wrapper so complement inputs track their true inputs exactly.
+    """
+
+    base: Waveform
+    vdd: float
+
+    def value(self, t: float) -> float:
+        return self.vdd - self.base.value(t)
+
+
+def bit_sequence(
+    bits: list[int],
+    vdd: float,
+    bit_time: float,
+    t_rise: float = 10e-12,
+) -> PWL:
+    """Build a PWL waveform from a logic bit sequence.
+
+    Each bit occupies ``bit_time``; transitions take ``t_rise``.  Useful
+    for two-pattern (initialise, test) stuck-open sequences.
+    """
+    if not bits:
+        raise ValueError("need at least one bit")
+    points: list[tuple[float, float]] = [(0.0, bits[0] * vdd)]
+    for k in range(1, len(bits)):
+        if bits[k] != bits[k - 1]:
+            t0 = k * bit_time
+            points.append((t0, bits[k - 1] * vdd))
+            points.append((t0 + t_rise, bits[k] * vdd))
+    end = len(bits) * bit_time
+    points.append((end, bits[-1] * vdd))
+    return PWL(tuple(points))

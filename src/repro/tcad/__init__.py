@@ -1,0 +1,28 @@
+"""TCAD-lite: 1-D self-consistent Poisson/drift-diffusion solver for
+carrier-density profiles (the paper's Fig. 4 substrate)."""
+
+from repro.tcad.gos import GOSSpec
+from repro.tcad.mesh import Mesh1D, build_mesh
+from repro.tcad.poisson import PoissonResult, solve_poisson
+from repro.tcad.profiles import (
+    DeviceSolution,
+    FIGURE4_REFERENCE,
+    figure4_summary,
+    solve_device,
+)
+from repro.tcad.transport import ContinuityResult, bernoulli, solve_continuity
+
+__all__ = [
+    "ContinuityResult",
+    "DeviceSolution",
+    "FIGURE4_REFERENCE",
+    "GOSSpec",
+    "Mesh1D",
+    "PoissonResult",
+    "bernoulli",
+    "build_mesh",
+    "figure4_summary",
+    "solve_continuity",
+    "solve_device",
+    "solve_poisson",
+]

@@ -1,0 +1,119 @@
+"""1-D device mesh along the transport axis of a TIG-SiNWFET.
+
+The channel is discretised source -> PGS -> spacer -> CG -> spacer ->
+PGD -> drain.  Each mesh node carries the local gate net ('pgs', 'cg',
+'pgd', or '' in the spacers) so the Poisson solver can apply the right
+gate coupling, and the GOS model can localise its perturbation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.device.params import DEFAULT_PARAMS, DeviceParameters
+
+
+@dataclasses.dataclass(frozen=True)
+class Mesh1D:
+    """Discretised device axis.
+
+    Attributes:
+        x: Node coordinates [m], shape (n,).
+        region: Per-node gate region label ('pgs', 'cg', 'pgd', '').
+        params: The device parameters used to build the mesh.
+    """
+
+    x: np.ndarray
+    region: tuple[str, ...]
+    params: DeviceParameters
+
+    @property
+    def n(self) -> int:
+        return len(self.x)
+
+    @property
+    def dx(self) -> float:
+        return float(self.x[1] - self.x[0])
+
+    def nodes_in(self, region: str) -> np.ndarray:
+        """Indices of the nodes under a given gate region."""
+        return np.array(
+            [k for k, r in enumerate(self.region) if r == region],
+            dtype=int,
+        )
+
+    def gate_voltage_profile(
+        self, v_pgs: float, v_cg: float, v_pgd: float
+    ) -> np.ndarray:
+        """Local gate potential per node; spacers interpolate neighbours."""
+        profile = np.empty(self.n)
+        volts = {"pgs": v_pgs, "cg": v_cg, "pgd": v_pgd}
+        last = v_pgs
+        pending: list[int] = []
+        for k, r in enumerate(self.region):
+            if r:
+                value = volts[r]
+                if pending:
+                    # Linear blend across the spacer gap.
+                    for j, idx in enumerate(pending, start=1):
+                        frac = j / (len(pending) + 1)
+                        profile[idx] = last + (value - last) * frac
+                    pending = []
+                profile[k] = value
+                last = value
+            else:
+                pending.append(k)
+        for idx in pending:  # trailing spacer (shouldn't happen)
+            profile[idx] = last
+        return profile
+
+
+def build_mesh(
+    params: DeviceParameters = DEFAULT_PARAMS, nodes_per_segment: int = 40
+) -> Mesh1D:
+    """Build the standard five-segment mesh.
+
+    Args:
+        params: Device geometry (Table II).
+        nodes_per_segment: Resolution of each gate/spacer segment.
+    """
+    if nodes_per_segment < 4:
+        raise ValueError("need at least 4 nodes per segment")
+    segments = (
+        ("pgs", params.l_pgs),
+        ("", params.l_spacer),
+        ("cg", params.l_cg),
+        ("", params.l_spacer),
+        ("pgd", params.l_pgd),
+    )
+    xs: list[float] = []
+    regions: list[str] = []
+    x0 = 0.0
+    for label, length in segments:
+        n = nodes_per_segment
+        local = np.linspace(x0, x0 + length, n, endpoint=False)
+        xs.extend(local.tolist())
+        regions.extend([label] * n)
+        x0 += length
+    xs.append(x0)
+    regions.append("pgd")
+    x = np.asarray(xs)
+    # Re-sample to uniform spacing for a clean Laplacian.
+    n_total = len(x)
+    uniform = np.linspace(0.0, x0, n_total)
+    region_of = []
+    boundaries = []
+    acc = 0.0
+    for label, length in segments:
+        boundaries.append((acc, acc + length, label))
+        acc += length
+    for xv in uniform:
+        label = ""
+        for lo, hi, lab in boundaries:
+            if lo <= xv <= hi:
+                label = lab
+                break
+        region_of.append(label)
+    return Mesh1D(x=uniform, region=tuple(region_of), params=params)

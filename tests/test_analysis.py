@@ -1,0 +1,122 @@
+"""Tests for the analysis layer (reporting, sweeps, classification)."""
+
+import math
+
+import pytest
+
+from repro.analysis.report import (
+    ascii_table,
+    format_quantity,
+    format_series,
+)
+from repro.core.classify import (
+    ApplicableModel,
+    BehaviourPoint,
+    classify_point,
+    classify_sweep,
+)
+
+
+class TestReport:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len({len(line) for line in lines}) == 1  # all same width
+
+    def test_format_quantity_prefixes(self):
+        assert format_quantity(4.5e-6, "A") == "4.5 uA"
+        assert format_quantity(3.2e-11, "A") == "32 pA"
+        assert format_quantity(0.0, "V") == "0 V"
+        assert format_quantity(float("inf")) == "inf"
+        assert format_quantity(float("nan")) == "n/a"
+
+    def test_format_series_handles_inf(self):
+        text = format_series("x", "y", [0.0, 1.0], [1.0, float("inf")])
+        assert "inf" in text
+
+
+class TestClassification:
+    def test_nominal_point_no_models(self):
+        point = BehaviourPoint(True, 1.0, 1.0)
+        assert classify_point(point) == set()
+
+    def test_delay_fault_band(self):
+        point = BehaviourPoint(True, 2.0, 1.2)
+        assert classify_point(point) == {ApplicableModel.DELAY}
+
+    def test_sof_band(self):
+        point = BehaviourPoint(False, float("inf"), 1.0)
+        assert classify_point(point) == {ApplicableModel.SOF}
+
+    def test_stuck_on_band(self):
+        point = BehaviourPoint(True, 1.0, 1e5)
+        assert classify_point(point) == {ApplicableModel.STUCK_ON}
+
+    def test_combined_bands(self):
+        point = BehaviourPoint(True, 3.0, 1e3)
+        assert classify_point(point) == {
+            ApplicableModel.DELAY,
+            ApplicableModel.STUCK_ON,
+        }
+
+    def test_sweep_functional_limit(self):
+        vcuts = [0.0, 0.3, 0.6, 0.9]
+        points = [
+            BehaviourPoint(True, 1.0, 1.0),
+            BehaviourPoint(True, 2.0, 2.0),
+            BehaviourPoint(True, 8.0, 20.0),
+            BehaviourPoint(False, float("inf"), 100.0),
+        ]
+        result = classify_sweep(vcuts, points)
+        assert result.functional_limit == 0.9
+        assert ApplicableModel.SOF in result.summary
+        assert ApplicableModel.DELAY in result.summary
+        assert "testable via" in result.describe()
+
+    def test_sweep_never_failing(self):
+        vcuts = [0.0, 0.6]
+        points = [
+            BehaviourPoint(True, 1.0, 1.0),
+            BehaviourPoint(True, 1.1, 1e4),
+        ]
+        result = classify_sweep(vcuts, points)
+        assert result.functional_limit is None
+        assert result.summary == frozenset({ApplicableModel.STUCK_ON})
+
+    def test_sweep_validates_lengths(self):
+        with pytest.raises(ValueError):
+            classify_sweep([0.0], [])
+
+
+class TestExperimentsLight:
+    """Fast experiment drivers (the heavy ones run in benchmarks/)."""
+
+    def test_table1(self):
+        from repro.analysis import experiment_table1
+
+        rows, report = experiment_table1()
+        assert len(rows) == 5
+        assert "Table I" in report
+
+    def test_table2(self):
+        from repro.analysis import experiment_table2
+
+        rows, report = experiment_table2()
+        assert dict(rows)["Oxide Thickness (TOx)"] == "5.1 nm"
+        assert "mV/dec" in report
+
+    def test_fig3(self):
+        from repro.analysis import experiment_fig3
+
+        cases, report = experiment_fig3()
+        assert len(cases) == 4
+        assert "GOS" in report
+
+    def test_table3(self):
+        from repro.analysis import experiment_table3
+
+        rows, report = experiment_table3()
+        assert len(rows) == 8
+        assert all(r.leakage_detect for r in rows)
+        assert "(a) Logic-level" in report

@@ -1,0 +1,189 @@
+"""Tests for the core fault models, defect taxonomy and IFA engine."""
+
+import pytest
+
+from repro.core import (
+    ChannelBreakFault,
+    DefectMechanism,
+    FABRICATION_STEPS,
+    FloatingPolarityGate,
+    GOSFault,
+    InterconnectBridgeFault,
+    StuckAtNType,
+    StuckAtPType,
+    StuckOnFault,
+    TerminalBridgeFault,
+    enumerate_defect_sites,
+    run_ifa,
+    summarise_ifa,
+    table_i_rows,
+)
+from repro.gates import INV, NAND2, XOR2, build_cell_circuit
+from repro.logic.switch_level import DeviceState
+from repro.spice.dc import solve_dc
+
+
+class TestTableI:
+    def test_five_steps(self):
+        assert len(FABRICATION_STEPS) == 5
+        assert FABRICATION_STEPS[0].process.startswith("HSQ")
+        assert FABRICATION_STEPS[2].defects == (
+            DefectMechanism.GATE_OXIDE_SHORT,
+        )
+
+    def test_rows_render(self):
+        rows = table_i_rows()
+        assert rows[4][2] == "bridge among interconnects, floating gate"
+
+
+class TestDefectSites:
+    def test_inv_site_census(self):
+        sites = enumerate_defect_sites(INV)
+        by_mech = {}
+        for s in sites:
+            by_mech.setdefault(s.mechanism, []).append(s)
+        assert len(by_mech[DefectMechanism.NANOWIRE_BREAK]) == 2
+        assert len(by_mech[DefectMechanism.GATE_OXIDE_SHORT]) == 6
+        # 4 bridge kinds per transistor.
+        assert len(by_mech[DefectMechanism.TERMINAL_BRIDGE]) == 8
+
+    def test_xor_has_interconnect_pairs(self):
+        sites = enumerate_defect_sites(XOR2)
+        pairs = [
+            s for s in sites
+            if s.mechanism is DefectMechanism.INTERCONNECT_BRIDGE
+        ]
+        assert pairs  # a_n/b/out/etc. combinations
+        assert all("-" in s.detail for s in pairs)
+
+
+class TestCircuitFaultInjection:
+    def test_stuck_at_n_rewires_both_pgs(self):
+        bench = build_cell_circuit(XOR2)
+        StuckAtNType("t1").apply(bench)
+        device = bench.circuit.devices["xor2.t1"]
+        assert device.pgs == "vdd"
+        assert device.pgd == "vdd"
+
+    def test_stuck_at_p_rewires_to_ground(self):
+        bench = build_cell_circuit(XOR2)
+        StuckAtPType("t3").apply(bench)
+        device = bench.circuit.devices["xor2.t3"]
+        assert device.pgs == "0"
+        assert device.pgd == "0"
+
+    def test_floating_pg_both(self):
+        bench = build_cell_circuit(XOR2)
+        FloatingPolarityGate("t1", "both", 0.6).apply(bench)
+        device = bench.circuit.devices["xor2.t1"]
+        assert device.pgs.startswith("_float_")
+        assert device.pgd.startswith("_float_")
+        # The float nodes are driven at Vcut.
+        sources = [
+            v for k, v in bench.circuit.vsources.items()
+            if k.startswith("vcut_")
+        ]
+        assert len(sources) == 2
+
+    def test_floating_pg_validation(self):
+        with pytest.raises(ValueError):
+            FloatingPolarityGate("t1", "drain", 0.5)
+
+    def test_gos_swaps_model(self):
+        bench = build_cell_circuit(INV)
+        before = bench.circuit.devices["inv.t1"].model
+        GOSFault("t1", "cg").apply(bench)
+        assert bench.circuit.devices["inv.t1"].model is not before
+
+    def test_channel_break_kills_pull_up(self):
+        bench = build_cell_circuit(INV, fanout=2)
+        ChannelBreakFault("t1").apply(bench)
+        bench.set_vector((0,))
+        op = solve_dc(bench.circuit)
+        # Output can no longer be pulled high (leaks toward ground).
+        assert op.voltage("out") < 1.0
+
+    def test_stuck_on_bridges_channel(self):
+        bench = build_cell_circuit(INV, fanout=2)
+        StuckOnFault("t1").apply(bench)
+        bench.set_vector((1,))
+        op = solve_dc(bench.circuit)
+        # Pull-up shorted: contention lifts the output and burns current.
+        assert op.supply_current("vdd") > 1e-6
+
+    def test_terminal_bridge(self):
+        bench = build_cell_circuit(XOR2)
+        TerminalBridgeFault("t1", "cg", "pgs").apply(bench)
+        assert any(
+            name.startswith("_tbridge_")
+            for name in bench.circuit.resistors
+        )
+
+    def test_interconnect_bridge(self):
+        bench = build_cell_circuit(XOR2)
+        InterconnectBridgeFault("a", "b").apply(bench)
+        assert any(
+            r.a == "a" and r.b == "b"
+            for r in bench.circuit.resistors.values()
+        )
+
+    def test_device_state_images(self):
+        assert StuckAtNType("t1").device_state() == (
+            "t1", DeviceState.STUCK_AT_N
+        )
+        assert ChannelBreakFault("t2").device_state() == (
+            "t2", DeviceState.STUCK_OPEN
+        )
+        assert ChannelBreakFault("t2", fraction=0.5).device_state() is None
+
+    def test_descriptions_are_informative(self):
+        assert "t1" in StuckAtNType("t1").describe()
+        assert "PGS" in GOSFault("t1", "pgs").describe().upper()
+
+
+class TestIFA:
+    def test_xor_breaks_all_masked(self):
+        results = run_ifa(XOR2)
+        summary = summarise_ifa(XOR2, results)
+        assert summary.masked_breaks == ("t1", "t2", "t3", "t4")
+
+    def test_nand_breaks_not_masked(self):
+        results = run_ifa(NAND2)
+        summary = summarise_ifa(NAND2, results)
+        assert summary.masked_breaks == ()
+
+    def test_every_site_classified(self):
+        results = run_ifa(XOR2)
+        assert len(results) == len(enumerate_defect_sites(XOR2))
+        for r in results:
+            assert r.behaviour in (
+                "functional-masked",
+                "wrong-output",
+                "iddq",
+                "wrong-output+iddq",
+                "sequential",
+                "analog-only",
+                "benign",
+            )
+
+    def test_polarity_bridges_map_to_new_model(self):
+        results = run_ifa(XOR2)
+        pg_bridges = [
+            r for r in results
+            if r.site.detail in ("pg-vdd", "pg-gnd")
+        ]
+        assert pg_bridges
+        for r in pg_bridges:
+            assert any(
+                "stuck-at n-type/p-type" in m for m in r.fault_models
+            )
+
+    def test_sp_rail_bridge_benign(self):
+        """Bridging an SP pull-down's PG (already at VDD) to VDD is a
+        no-op and must be classified benign."""
+        results = run_ifa(NAND2)
+        benign = [
+            r for r in results
+            if r.behaviour == "benign"
+        ]
+        assert len(benign) == 4  # 2 pull-ups pg-gnd + 2 pull-downs pg-vdd

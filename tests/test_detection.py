@@ -1,0 +1,84 @@
+"""Tests for SPICE-domain detectability measurement (core.detection)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ChannelBreakFault,
+    DriveDriftFault,
+    StuckAtNType,
+    characterise_fault,
+)
+from repro.core.detection import DELAY_DETECT_RATIO, IDDQ_DETECT_RATIO
+from repro.gates import INV, XOR2
+
+
+@pytest.fixture(scope="module")
+def polarity_report():
+    return characterise_fault(
+        XOR2, StuckAtNType("t1"), measure_delay=False
+    )
+
+
+class TestPolarityFaultDetection:
+    def test_iddq_detectable(self, polarity_report):
+        assert polarity_report.iddq_detectable
+        assert polarity_report.worst_iddq_ratio > 1e4
+
+    def test_detecting_vector_is_table_iii(self, polarity_report):
+        assert (0, 0) in polarity_report.iddq_vectors
+
+    def test_overall_detected(self, polarity_report):
+        assert polarity_report.detected
+
+    def test_description_carried(self, polarity_report):
+        assert "t1" in polarity_report.fault_description
+
+
+class TestChannelBreakDetection:
+    def test_sp_break_output_detectable(self):
+        report = characterise_fault(
+            INV, ChannelBreakFault("t1"), measure_delay=False
+        )
+        # The INV pull-up break floats the output at A=0; the DC level
+        # no longer reads as a valid 1.
+        assert report.output_detectable
+
+    def test_dp_break_not_output_detectable(self):
+        report = characterise_fault(
+            XOR2, ChannelBreakFault("t1"), measure_delay=False
+        )
+        assert not report.output_detectable  # masked (Section V-C)
+
+
+class TestDelayDetection:
+    def test_drive_drift_is_delay_fault(self):
+        report = characterise_fault(
+            INV,
+            DriveDriftFault("t1", i_on_factor=0.3),
+            measure_delay=True,
+            delay_input="a",
+        )
+        assert report.delay_ratio > DELAY_DETECT_RATIO
+        assert report.delay_detectable
+
+    def test_fault_free_thresholds_sane(self):
+        assert IDDQ_DETECT_RATIO >= 2
+        assert DELAY_DETECT_RATIO > 1.0
+
+    def test_nan_delay_when_not_measured(self):
+        report = characterise_fault(
+            XOR2, StuckAtNType("t2"), measure_delay=False
+        )
+        assert math.isnan(report.delay_ratio)
+
+
+class TestObservations:
+    def test_per_vector_observations_complete(self, polarity_report):
+        assert len(polarity_report.observations) == 4
+        vectors = {o.vector for o in polarity_report.observations}
+        assert vectors == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_iddq_positive(self, polarity_report):
+        assert all(o.iddq >= 0 for o in polarity_report.observations)

@@ -1,0 +1,68 @@
+"""Tests for I-V utilities (threshold, slope, ratio extraction)."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    DEFAULT_PARAMS,
+    TIGSiNWFET,
+    TransferCurve,
+    id_sat,
+    on_off_ratio,
+    subthreshold_slope,
+    sweep_id_vcg,
+    threshold_voltage,
+)
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return sweep_id_vcg(TIGSiNWFET(), "n")
+
+
+class TestSweep:
+    def test_default_span(self, curve):
+        assert curve.v_cg[0] == 0.0
+        assert curve.v_cg[-1] == pytest.approx(DEFAULT_PARAMS.vdd)
+        assert curve.v_ds == pytest.approx(DEFAULT_PARAMS.vdd)
+
+    def test_point_count(self):
+        c = sweep_id_vcg(TIGSiNWFET(), "n", points=31)
+        assert len(c.v_cg) == 31
+
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(ValueError):
+            sweep_id_vcg(TIGSiNWFET(), "x")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TransferCurve(
+                v_cg=np.zeros(3), i_d=np.zeros(4),
+                v_pgs=1.2, v_pgd=1.2, v_ds=1.2,
+            )
+
+
+class TestMetrics:
+    def test_id_sat_is_last_point(self, curve):
+        assert id_sat(curve) == curve.i_d[-1]
+
+    def test_threshold_monotone_in_criterion(self, curve):
+        low = threshold_voltage(curve, i_crit=1e-9)
+        high = threshold_voltage(curve, i_crit=1e-7)
+        assert low < high
+
+    def test_threshold_nan_when_unreachable(self, curve):
+        assert np.isnan(threshold_voltage(curve, i_crit=1.0))
+
+    def test_subthreshold_slope_near_design_value(self, curve):
+        assert subthreshold_slope(curve) == pytest.approx(
+            DEFAULT_PARAMS.ss_cg, rel=0.15
+        )
+
+    def test_on_off_ratio_positive(self, curve):
+        assert on_off_ratio(curve) > 1e3
+
+    def test_vds_dependence(self):
+        low = sweep_id_vcg(TIGSiNWFET(), "n", v_ds=0.1)
+        high = sweep_id_vcg(TIGSiNWFET(), "n", v_ds=1.2)
+        assert id_sat(low) < id_sat(high)

@@ -1,0 +1,97 @@
+"""Tests for repro.device.params (Table II parameter set)."""
+
+import math
+
+import pytest
+
+from repro.device.params import (
+    DEFAULT_PARAMS,
+    DeviceParameters,
+    table_ii_rows,
+    thermal_voltage,
+)
+
+
+class TestPhysicalConstants:
+    def test_thermal_voltage_room_temperature(self):
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_thermal_voltage_scales_linearly(self):
+        assert thermal_voltage(600.0) == pytest.approx(
+            2 * thermal_voltage(300.0)
+        )
+
+
+class TestTableII:
+    """The default parameters are the paper's Table II values."""
+
+    def test_gate_lengths(self):
+        assert DEFAULT_PARAMS.l_cg == pytest.approx(22e-9)
+        assert DEFAULT_PARAMS.l_pgs == pytest.approx(22e-9)
+        assert DEFAULT_PARAMS.l_pgd == pytest.approx(22e-9)
+        assert DEFAULT_PARAMS.l_spacer == pytest.approx(18e-9)
+
+    def test_oxide_and_radius(self):
+        assert DEFAULT_PARAMS.t_ox == pytest.approx(5.1e-9)
+        assert DEFAULT_PARAMS.r_nw == pytest.approx(7.5e-9)
+
+    def test_schottky_barrier(self):
+        assert DEFAULT_PARAMS.phi_barrier == pytest.approx(0.41)
+
+    def test_doping_is_1e15_per_cm3(self):
+        assert DEFAULT_PARAMS.n_channel == pytest.approx(1e21)
+
+    def test_supply_voltage(self):
+        assert DEFAULT_PARAMS.vdd == pytest.approx(1.2)
+
+    def test_rows_formatting(self):
+        rows = dict(table_ii_rows())
+        assert rows["Length of Control Gate (LCG)"] == "22 nm"
+        assert rows["Oxide Thickness (TOx)"] == "5.1 nm"
+        assert rows["Radius of NanoWire (RNW)"] == "7.5 nm"
+        assert rows["Schottky Barrier Height"] == "0.41 eV"
+
+    def test_row_count_matches_paper(self):
+        assert len(table_ii_rows()) == 7
+
+
+class TestDerivedQuantities:
+    def test_channel_length(self):
+        expected = 22e-9 * 3 + 18e-9 * 2
+        assert DEFAULT_PARAMS.channel_length == pytest.approx(expected)
+
+    def test_nanowire_area(self):
+        assert DEFAULT_PARAMS.nanowire_area == pytest.approx(
+            math.pi * (7.5e-9) ** 2
+        )
+
+    def test_oxide_capacitance_positive(self):
+        assert DEFAULT_PARAMS.oxide_capacitance_per_area > 0
+
+    def test_natural_length_in_nm_range(self):
+        # GAA natural length should be a few nanometres for these numbers.
+        assert 1e-9 < DEFAULT_PARAMS.natural_length < 10e-9
+
+
+class TestValidation:
+    def test_rejects_negative_vdd(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(vdd=-1.0)
+
+    def test_rejects_ion_below_floor(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(i_on=1e-14, i_floor=1e-13)
+
+    def test_rejects_nonpositive_geometry(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(t_ox=0.0)
+
+    def test_rejects_bad_drain_weight(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(drain_weight=0.0)
+        with pytest.raises(ValueError):
+            DeviceParameters(drain_weight=1.5)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMS.vdd = 2.0

@@ -1,0 +1,178 @@
+"""Tests for the CP gate library: structure and electrical behaviour."""
+
+import itertools
+
+import pytest
+
+from repro.gates import (
+    ALL_CELLS,
+    DP_CELLS,
+    INV,
+    MAJ3,
+    NAND2,
+    SP_CELLS,
+    XOR2,
+    build_cell_circuit,
+    dc_truth_table,
+    get_cell,
+    static_leakage,
+    transition_delay,
+    verify_truth_table,
+)
+from repro.gates.cell import Cell, Transistor
+
+VDD = 1.2
+
+
+class TestLibraryStructure:
+    def test_categories(self):
+        assert set(SP_CELLS) == {"INV", "NAND2", "NOR2", "NAND3", "NOR3"}
+        assert set(DP_CELLS) == {"XOR2", "XNOR2", "XOR3", "MAJ3", "MIN3"}
+
+    def test_get_cell_case_insensitive(self):
+        assert get_cell("xor2") is XOR2
+
+    def test_get_cell_unknown(self):
+        with pytest.raises(KeyError):
+            get_cell("NAND9")
+
+    def test_sp_cells_have_rail_polarity(self):
+        for cell in SP_CELLS.values():
+            for t in cell.transistors:
+                assert t.pgs in ("vdd", "gnd")
+                assert t.pgd in ("vdd", "gnd")
+
+    def test_dp_cells_have_signal_polarity(self):
+        for cell in DP_CELLS.values():
+            assert any(
+                t.pgs not in ("vdd", "gnd") for t in cell.transistors
+            )
+
+    def test_paper_transistor_names(self):
+        assert {t.name for t in XOR2.transistors} == {"t1", "t2", "t3", "t4"}
+        assert {t.name for t in INV.transistors} == {"t1", "t3"}
+
+    def test_xor2_roles_match_table_iii(self):
+        roles = {t.name: t.role for t in XOR2.transistors}
+        assert roles == {
+            "t1": "pull_up",
+            "t2": "pull_up",
+            "t3": "pull_down",
+            "t4": "pull_down",
+        }
+
+    def test_dp_networks_are_redundant_pairs(self):
+        """For every conducting input combo of XOR2, exactly two devices
+        conduct — one n-configured, one p-configured (full-swing pair)."""
+        for a, b in itertools.product((0, 1), repeat=2):
+            values = XOR2.net_values((a, b))
+            conducting = []
+            for t in XOR2.transistors:
+                cg = values[t.cg]
+                pg = values[t.pgs]
+                if cg == pg == 1:
+                    conducting.append((t.name, "n"))
+                elif cg == pg == 0:
+                    conducting.append((t.name, "p"))
+            assert len(conducting) == 2
+            assert {mode for _, mode in conducting} == {"n", "p"}
+
+
+class TestCellDataclass:
+    def test_rejects_duplicate_transistors(self):
+        t = Transistor("t1", "out", "a", "gnd", "gnd", "vdd", "pull_up")
+        with pytest.raises(ValueError):
+            Cell("BAD", ("a",), (t, t), "SP", lambda v: 0)
+
+    def test_rejects_sp_with_signal_pg(self):
+        t = Transistor("t1", "out", "a", "b", "b", "vdd", "pull_up")
+        with pytest.raises(ValueError):
+            Cell("BAD", ("a", "b"), (t,), "SP", lambda v: 0)
+
+    def test_rejects_bad_role(self):
+        with pytest.raises(ValueError):
+            Transistor("t1", "out", "a", "gnd", "gnd", "vdd", "sideways")
+
+    def test_pg_property_requires_shared_net(self):
+        t = Transistor("t1", "out", "a", "x", "y", "vdd", "pull_up")
+        with pytest.raises(ValueError):
+            _ = t.pg
+
+    def test_truth_table_size(self):
+        assert len(MAJ3.truth_table()) == 8
+
+    def test_net_values_include_complements(self):
+        values = XOR2.net_values((1, 0))
+        assert values["a"] == 1
+        assert values["a_n"] == 0
+        assert values["b_n"] == 1
+
+    def test_net_values_validates_width(self):
+        with pytest.raises(ValueError):
+            XOR2.net_values((1,))
+
+    def test_complement_nets(self):
+        assert XOR2.complement_nets() == ("a_n", "b_n")
+        assert INV.complement_nets() == ()
+
+    def test_internal_nets(self):
+        assert NAND2.internal_nets() == ("x1",)
+
+
+@pytest.mark.parametrize("cell_name", sorted(ALL_CELLS))
+def test_dc_truth_table_matches_reference(cell_name):
+    """Integration: every library cell computes its Boolean function in
+    full SPICE DC analysis with FO2 loading."""
+    cell = ALL_CELLS[cell_name]
+    bench = build_cell_circuit(cell, fanout=2)
+    assert verify_truth_table(bench)
+
+
+class TestOutputQuality:
+    def test_full_swing_xor(self):
+        bench = build_cell_circuit(XOR2, fanout=4)
+        table = dc_truth_table(bench)
+        for vector, (volts, _) in table.items():
+            expected = XOR2.function(vector)
+            assert volts == pytest.approx(expected * VDD, abs=0.08)
+
+    def test_nominal_leakage_sub_nanoamp(self):
+        bench = build_cell_circuit(XOR2, fanout=4)
+        for vector in itertools.product((0, 1), repeat=2):
+            assert static_leakage(bench, vector) < 1e-9
+
+    def test_inv_delay_reasonable(self):
+        bench = build_cell_circuit(INV, fanout=4)
+        d = transition_delay(bench, "a", {}, rising=False)
+        assert 20e-12 < d < 500e-12
+
+    def test_nand2_delay_direction(self):
+        bench = build_cell_circuit(NAND2, fanout=4)
+        d = transition_delay(bench, "a", {"b": 1}, rising=True)
+        assert d < 1e-9
+
+
+class TestTestbench:
+    def test_set_vector_width_check(self):
+        bench = build_cell_circuit(XOR2)
+        with pytest.raises(ValueError):
+            bench.set_vector((1,))
+
+    def test_device_names(self):
+        bench = build_cell_circuit(XOR2)
+        assert bench.device_name("t1") == "xor2.t1"
+        assert "xor2.t1" in bench.circuit.devices
+
+    def test_complement_sources_track(self):
+        bench = build_cell_circuit(XOR2)
+        bench.set_input("a", VDD)
+        assert bench.circuit.vsources["vin_a_n"].waveform(0.0) == (
+            pytest.approx(0.0)
+        )
+
+    def test_fanout_zero_keeps_load_cap(self):
+        bench = build_cell_circuit(INV, fanout=0)
+        assert any(
+            c.a == "out" or c.b == "out"
+            for c in bench.circuit.capacitors.values()
+        )

@@ -1,0 +1,115 @@
+"""Tests for multi-valued logic and the D-calculus."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.values import (
+    D,
+    DBAR,
+    D_ONE,
+    D_X,
+    D_ZERO,
+    DValue,
+    ONE,
+    X,
+    Z,
+    ZERO,
+    d_and,
+    d_not,
+    d_or,
+    d_xor,
+    from_ternary,
+    t_and,
+    t_not,
+    t_or,
+    t_xor,
+    ternary_name,
+)
+
+ternary = st.sampled_from([ZERO, ONE, X])
+
+
+class TestTernary:
+    def test_not_truth(self):
+        assert t_not(ZERO) == ONE
+        assert t_not(ONE) == ZERO
+        assert t_not(X) == X
+        assert t_not(Z) == X
+
+    def test_and_controlling(self):
+        assert t_and(ZERO, X) == ZERO
+        assert t_and(X, ZERO) == ZERO
+        assert t_and(ONE, X) == X
+        assert t_and(ONE, ONE) == ONE
+
+    def test_or_controlling(self):
+        assert t_or(ONE, X) == ONE
+        assert t_or(ZERO, X) == X
+        assert t_or(ZERO, ZERO) == ZERO
+
+    def test_xor_x_propagates(self):
+        assert t_xor(X, ONE) == X
+        assert t_xor(ONE, ZERO) == ONE
+        assert t_xor(ONE, ONE) == ZERO
+
+    @given(ternary, ternary)
+    @settings(max_examples=30)
+    def test_de_morgan(self, a, b):
+        assert t_not(t_and(a, b)) == t_or(t_not(a), t_not(b))
+
+    @given(ternary, ternary)
+    @settings(max_examples=30)
+    def test_commutativity(self, a, b):
+        assert t_and(a, b) == t_and(b, a)
+        assert t_or(a, b) == t_or(b, a)
+        assert t_xor(a, b) == t_xor(b, a)
+
+    def test_names(self):
+        assert ternary_name(ZERO) == "0"
+        assert ternary_name(Z) == "Z"
+        with pytest.raises(ValueError):
+            ternary_name(42)
+
+
+class TestDValue:
+    def test_constants(self):
+        assert D.name == "D"
+        assert DBAR.name == "D'"
+        assert D_ZERO.name == "0"
+        assert D_ONE.name == "1"
+        assert D_X.name == "X"
+
+    def test_fault_effect_flags(self):
+        assert D.is_fault_effect
+        assert DBAR.is_fault_effect
+        assert not D_ONE.is_fault_effect
+        assert not D_X.is_fault_effect
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DValue(3, 0)
+
+    def test_from_ternary(self):
+        assert from_ternary(ONE) == D_ONE
+        assert from_ternary(X) == D_X
+        assert from_ternary(Z) == D_X
+
+    def test_d_algebra_basics(self):
+        # D AND 1 = D; D AND 0 = 0; D OR D' covers both machines.
+        assert d_and(D, D_ONE) == D
+        assert d_and(D, D_ZERO) == D_ZERO
+        assert d_not(D) == DBAR
+        assert d_or(D, DBAR) == D_ONE
+        assert d_and(D, DBAR) == D_ZERO
+        assert d_xor(D, D) == D_ZERO
+        assert d_xor(D, DBAR) == D_ONE
+
+    @given(ternary, ternary, ternary, ternary)
+    @settings(max_examples=40)
+    def test_componentwise_consistency(self, g1, f1, g2, f2):
+        """D-calculus ops are exactly per-component ternary ops."""
+        a, b = DValue(g1, f1), DValue(g2, f2)
+        assert d_and(a, b) == DValue(t_and(g1, g2), t_and(f1, f2))
+        assert d_or(a, b) == DValue(t_or(g1, g2), t_or(f1, f2))
+        assert d_xor(a, b) == DValue(t_xor(g1, g2), t_xor(f1, f2))

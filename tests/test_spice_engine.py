@@ -1,0 +1,244 @@
+"""Tests for the MNA circuit simulator (DC + transient)."""
+
+import numpy as np
+import pytest
+
+from repro.device import TIGSiNWFET
+from repro.spice import (
+    Circuit,
+    DC,
+    MNASystem,
+    Step,
+    propagation_delay,
+    run_transient,
+    solve_dc,
+    sweep_dc,
+    threshold_crossings,
+)
+
+VDD = 1.2
+
+
+class TestLinearDC:
+    def test_voltage_divider(self):
+        c = Circuit("div")
+        c.add_vsource("v1", "in", "0", 2.0)
+        c.add_resistor("r1", "in", "mid", 1e3)
+        c.add_resistor("r2", "mid", "0", 3e3)
+        op = solve_dc(c)
+        assert op.voltage("mid") == pytest.approx(1.5)
+        assert op.source_currents["v1"] == pytest.approx(-2.0 / 4e3)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit("isrc")
+        c.add_isource("i1", "0", "n", 1e-3)  # 1 mA into node n
+        c.add_resistor("r1", "n", "0", 2e3)
+        op = solve_dc(c)
+        assert op.voltage("n") == pytest.approx(2.0)
+
+    def test_two_sources_superposition(self):
+        c = Circuit("two")
+        c.add_vsource("va", "a", "0", 1.0)
+        c.add_vsource("vb", "b", "0", 2.0)
+        c.add_resistor("r1", "a", "x", 1e3)
+        c.add_resistor("r2", "b", "x", 1e3)
+        c.add_resistor("r3", "x", "0", 1e3)
+        op = solve_dc(c)
+        assert op.voltage("x") == pytest.approx(1.0)
+
+    def test_ground_aliases(self):
+        c = Circuit("gnd")
+        c.add_vsource("v1", "n", "gnd", 1.0)
+        c.add_resistor("r1", "n", "GND", 1e3)
+        op = solve_dc(c)
+        assert op.voltage("n") == pytest.approx(1.0)
+
+    def test_kcl_residual_random_network(self):
+        """Property: MNA solutions satisfy KCL at every node."""
+        rng = np.random.default_rng(3)
+        c = Circuit("rand")
+        nodes = ["n%d" % k for k in range(6)] + ["0"]
+        c.add_vsource("v1", "n0", "0", 1.0)
+        for k in range(12):
+            a, b = rng.choice(len(nodes), size=2, replace=False)
+            c.add_resistor(f"r{k}", nodes[a], nodes[b],
+                           float(rng.uniform(1e2, 1e5)))
+        op = solve_dc(c)
+        # Check KCL at a non-source node by summing resistor currents.
+        for node in nodes[1:-1]:
+            total = 0.0
+            for r in c.resistors.values():
+                va = op.voltage(r.a)
+                vb = op.voltage(r.b)
+                if r.a == node:
+                    total -= (va - vb) / r.resistance
+                if r.b == node:
+                    total += (va - vb) / r.resistance
+            assert total == pytest.approx(0.0, abs=1e-9)
+
+
+class TestNonlinearDC:
+    def test_inverter_both_states(self):
+        model = TIGSiNWFET()
+        c = Circuit("inv")
+        c.add_vsource("vdd", "vdd", "0", VDD)
+        c.add_vsource("vin", "a", "0", 0.0)
+        c.add_device("tp", model, "out", "a", "0", "0", "vdd")
+        c.add_device("tn", model, "out", "a", "vdd", "vdd", "0")
+        op = solve_dc(c)
+        assert op.voltage("out") == pytest.approx(VDD, abs=0.05)
+        c.vsources["vin"].waveform = DC(VDD)
+        op = solve_dc(c)
+        assert op.voltage("out") == pytest.approx(0.0, abs=0.05)
+
+    def test_inverter_iddq_small(self):
+        model = TIGSiNWFET()
+        c = Circuit("inv")
+        c.add_vsource("vdd", "vdd", "0", VDD)
+        c.add_vsource("vin", "a", "0", VDD)
+        c.add_device("tp", model, "out", "a", "0", "0", "vdd")
+        c.add_device("tn", model, "out", "a", "vdd", "vdd", "0")
+        op = solve_dc(c)
+        assert op.supply_current("vdd") < 5e-9
+
+    def test_sweep_dc_warm_start(self):
+        model = TIGSiNWFET()
+        c = Circuit("inv")
+        c.add_vsource("vdd", "vdd", "0", VDD)
+        c.add_vsource("vin", "a", "0", 0.0)
+        c.add_device("tp", model, "out", "a", "0", "0", "vdd")
+        c.add_device("tn", model, "out", "a", "vdd", "vdd", "0")
+        points = sweep_dc(c, "vin", np.linspace(0, VDD, 13))
+        outs = [p.voltage("out") for p in points]
+        # Monotonic falling VTC.
+        assert all(b <= a + 1e-6 for a, b in zip(outs, outs[1:]))
+        assert outs[0] > VDD - 0.1
+        assert outs[-1] < 0.1
+
+
+class TestTransient:
+    def test_rc_charging(self):
+        c = Circuit("rc")
+        c.add_vsource("vin", "in", "0", Step(0.0, 1.0, 1e-9, 1e-11))
+        c.add_resistor("r", "in", "out", 1e3)
+        c.add_capacitor("cap", "out", "0", 1e-12)  # tau = 1 ns
+        res = run_transient(c, 6e-9, 1e-11)
+        v = res.voltage("out")
+        t = res.times
+        # After ~3 tau from the step, expect ~95 %.
+        idx = np.searchsorted(t, 4e-9)
+        assert v[idx] == pytest.approx(1 - np.exp(-3), abs=0.03)
+
+    def test_rc_crossing_time(self):
+        c = Circuit("rc")
+        c.add_vsource("vin", "in", "0", Step(0.0, 1.0, 0.5e-9, 1e-11))
+        c.add_resistor("r", "in", "out", 1e3)
+        c.add_capacitor("cap", "out", "0", 1e-12)
+        res = run_transient(c, 5e-9, 5e-12)
+        crossings = threshold_crossings(res.times, res.voltage("out"), 0.5)
+        assert len(crossings) == 1
+        # 50 % of an RC step happens ln(2) tau after the step.
+        assert crossings[0] - 0.5e-9 == pytest.approx(
+            0.693e-9, rel=0.05
+        )
+
+    def test_inverter_switches(self):
+        model = TIGSiNWFET()
+        c = Circuit("inv")
+        c.add_vsource("vdd", "vdd", "0", VDD)
+        c.add_vsource("vin", "a", "0", Step(0.0, VDD, 0.2e-9, 2e-11))
+        c.add_device("tp", model, "out", "a", "0", "0", "vdd")
+        c.add_device("tn", model, "out", "a", "vdd", "vdd", "0")
+        c.add_capacitor("cl", "out", "0", 1e-15)
+        res = run_transient(c, 1.2e-9, 2e-12)
+        assert res.voltage("out")[0] == pytest.approx(VDD, abs=0.05)
+        assert res.voltage("out")[-1] == pytest.approx(0.0, abs=0.05)
+        d = propagation_delay(res, "a", "out", VDD)
+        assert 1e-12 < d < 500e-12
+
+    def test_validates_arguments(self):
+        c = Circuit("bad")
+        c.add_vsource("v", "n", "0", 1.0)
+        c.add_resistor("r", "n", "0", 1.0)
+        with pytest.raises(ValueError):
+            run_transient(c, 0.0, 1e-12)
+
+
+class TestMeasure:
+    def test_threshold_crossing_directions(self):
+        t = np.linspace(0, 1, 11)
+        v = np.concatenate([np.linspace(0, 1, 6), np.linspace(0.8, 0, 5)])
+        rises = threshold_crossings(t, v, 0.5, "rise")
+        falls = threshold_crossings(t, v, 0.5, "fall")
+        assert len(rises) == 1
+        assert len(falls) == 1
+        assert rises[0] < falls[0]
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            threshold_crossings(np.zeros(2), np.zeros(2), 0.5, "sideways")
+
+
+class TestNetlistValidation:
+    def test_duplicate_names_rejected(self):
+        c = Circuit("dup")
+        c.add_resistor("x", "a", "0", 1.0)
+        with pytest.raises(ValueError):
+            c.add_capacitor("x", "a", "0", 1e-12)
+
+    def test_negative_resistance_rejected(self):
+        c = Circuit("bad")
+        with pytest.raises(ValueError):
+            c.add_resistor("r", "a", "0", -1.0)
+
+    def test_disconnect_terminal(self):
+        c = Circuit("open")
+        c.add_device("t1", TIGSiNWFET(), "d", "g", "p", "p", "0")
+        float_node = c.disconnect_terminal("t1", "pgs")
+        assert c.devices["t1"].pgs == float_node
+        assert c.devices["t1"].pgd == "p"
+
+    def test_disconnect_unknown_device(self):
+        c = Circuit("open")
+        with pytest.raises(KeyError):
+            c.disconnect_terminal("nope", "pgs")
+
+    def test_bridge_adds_resistor(self):
+        c = Circuit("bridge")
+        c.add_bridge("x", "y", resistance=100.0)
+        assert any(
+            r.a == "x" and r.b == "y" for r in c.resistors.values()
+        )
+
+    def test_nodes_sorted_and_exclude_ground(self):
+        c = Circuit("n")
+        c.add_resistor("r1", "b", "0", 1.0)
+        c.add_resistor("r2", "a", "gnd", 1.0)
+        assert c.nodes() == ["a", "b"]
+
+
+class TestConvergenceMachinery:
+    def test_floating_node_regularised_by_gmin(self):
+        # A node connected only by a capacitor has no DC path; the
+        # permanent 1e-12 S gmin (SPICE convention) pins it to ground
+        # instead of producing a singular system.
+        c = Circuit("sing")
+        c.add_vsource("v", "a", "0", 1.0)
+        c.add_capacitor("c1", "b", "0", 1e-12)
+        c.add_resistor("r1", "a", "0", 1e3)
+        x = MNASystem(c).solve_dc_continuation()
+        op_index = MNASystem(c).node_index["b"]
+        assert abs(x[op_index]) < 1e-6
+
+    def test_contended_fault_circuit_converges(self):
+        """Strong polarity-fault contention (the hardest DC case in the
+        fault campaigns) must converge with default options."""
+        from repro.core.fault_models import StuckAtNType
+        from repro.gates import build_cell_circuit, get_cell
+        from repro.spice import solve_dc
+
+        bench = build_cell_circuit(get_cell("XOR3"), fanout=4)
+        StuckAtNType("t1").apply(bench)
+        bench.set_vector((0, 0, 0))
+        op = solve_dc(bench.circuit)
+        assert op.supply_current("vdd") > 0

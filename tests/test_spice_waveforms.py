@@ -1,0 +1,86 @@
+"""Tests for source waveforms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.waveforms import (
+    DC,
+    PWL,
+    Complement,
+    Pulse,
+    Step,
+    bit_sequence,
+)
+
+
+class TestDC:
+    def test_constant(self):
+        w = DC(0.7)
+        assert w(0.0) == 0.7
+        assert w(1e-6) == 0.7
+
+
+class TestPWL:
+    def test_interpolation(self):
+        w = PWL(((0.0, 0.0), (1.0, 2.0)))
+        assert w(0.5) == pytest.approx(1.0)
+
+    def test_holds_ends(self):
+        w = PWL(((1.0, 3.0), (2.0, 5.0)))
+        assert w(0.0) == 3.0
+        assert w(10.0) == 5.0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            PWL(((1.0, 0.0), (1.0, 1.0)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PWL(())
+
+
+class TestStep:
+    def test_levels(self):
+        w = Step(0.0, 1.2, t_step=1e-9, t_rise=1e-10)
+        assert w(0.0) == 0.0
+        assert w(2e-9) == 1.2
+        assert w(1.05e-9) == pytest.approx(0.6)
+
+
+class TestPulse:
+    def test_period_repeats(self):
+        w = Pulse(0.0, 1.0, t_delay=0.0, t_rise=0.1, t_fall=0.1,
+                  t_width=0.3, t_period=1.0)
+        assert w(0.2) == 1.0
+        assert w(1.2) == 1.0
+        assert w(0.9) == 0.0
+
+    def test_rejects_overfull_period(self):
+        with pytest.raises(ValueError):
+            Pulse(0, 1, 0, 0.5, 0.5, 0.5, 1.0)
+
+
+class TestComplement:
+    @given(st.floats(min_value=0.0, max_value=5e-9))
+    @settings(max_examples=30)
+    def test_sum_is_vdd(self, t):
+        base = Step(0.0, 1.2, 1e-9, 1e-10)
+        comp = Complement(base, 1.2)
+        assert base(t) + comp(t) == pytest.approx(1.2)
+
+
+class TestBitSequence:
+    def test_levels_at_bit_centres(self):
+        w = bit_sequence([1, 0, 1], vdd=1.2, bit_time=1e-9)
+        assert w(0.5e-9) == pytest.approx(1.2)
+        assert w(1.5e-9) == pytest.approx(0.0)
+        assert w(2.5e-9) == pytest.approx(1.2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bit_sequence([], 1.2, 1e-9)
+
+    def test_constant_sequence(self):
+        w = bit_sequence([1, 1, 1], vdd=1.0, bit_time=1e-9)
+        assert w(1.7e-9) == pytest.approx(1.0)

@@ -1,0 +1,158 @@
+"""Tests for the switch-level CP transistor-network simulator."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates.library import (
+    ALL_CELLS,
+    INV,
+    MAJ3,
+    NAND2,
+    XOR2,
+)
+from repro.logic.switch_level import (
+    DeviceState,
+    detection_behaviour,
+    evaluate,
+    fault_free_is_consistent,
+    truth_table_switch_level,
+)
+from repro.logic.values import ONE, X, Z, ZERO
+
+
+@pytest.mark.parametrize("cell_name", sorted(ALL_CELLS))
+def test_every_cell_consistent_at_switch_level(cell_name):
+    """Property: switch-level evaluation == the reference Boolean
+    function for every library cell, every vector, with no conflicts."""
+    assert fault_free_is_consistent(ALL_CELLS[cell_name])
+
+
+class TestEvaluate:
+    def test_inv_truth(self):
+        assert evaluate(INV, (0,)).output == 1
+        assert evaluate(INV, (1,)).output == 0
+
+    def test_conducting_modes_reported(self):
+        result = evaluate(INV, (0,))
+        # Pull-up p-configured device conducts.
+        assert result.conducting.get("t1") == "p"
+        result = evaluate(INV, (1,))
+        assert result.conducting.get("t3") == "n"
+
+    def test_xor_redundant_pair_modes(self):
+        """At every conducting vector one member is 'n' and one is 'p'."""
+        for vector in itertools.product((0, 1), repeat=2):
+            result = evaluate(XOR2, vector)
+            modes = sorted(result.conducting.values())
+            assert modes == ["n", "p"]
+
+    def test_stuck_open_floats_output(self):
+        # Break the INV pull-up and drive the input low: output floats.
+        result = evaluate(
+            INV, (0,), {"t1": DeviceState.STUCK_OPEN}
+        )
+        assert result.output == Z
+
+    def test_charge_retention(self):
+        result = evaluate(
+            INV, (0,), {"t1": DeviceState.STUCK_OPEN}, previous_output=ONE
+        )
+        assert result.output == ONE
+
+    def test_stuck_on_creates_conflict(self):
+        result = evaluate(INV, (1,), {"t1": DeviceState.STUCK_ON})
+        assert result.conflict
+
+    def test_floating_pg_gives_unknown(self):
+        result = evaluate(INV, (0,), {"t1": DeviceState.FLOATING_PG})
+        assert result.output in (X, ZERO, ONE)
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            evaluate(INV, (0,), {"t9": DeviceState.STUCK_OPEN})
+
+    def test_strength_resolution_pull_up_loses(self):
+        """A wrong-mode (weak) pull-up cannot corrupt a strongly held 0
+        — the Table III pull-up asymmetry."""
+        result = evaluate(XOR2, (0, 0), {"t1": DeviceState.STUCK_AT_N})
+        assert result.conflict  # IDDQ path exists
+        assert result.output == ZERO  # but the output holds
+
+
+class TestTruthTables:
+    def test_switch_level_matches_function_nand(self):
+        table = truth_table_switch_level(NAND2)
+        for vector, value in table.items():
+            assert value == NAND2.function(vector)
+
+    def test_switch_level_matches_function_maj(self):
+        table = truth_table_switch_level(MAJ3)
+        for vector, value in table.items():
+            assert value == MAJ3.function(vector)
+
+
+class TestDetectionBehaviour:
+    def test_table_iii_stuck_at_n(self):
+        """The paper's Table III stuck-at-n rows, exactly."""
+        expected = {
+            "t1": ((0, 0), False),
+            "t2": ((1, 1), False),
+            "t3": ((0, 1), True),
+            "t4": ((1, 0), True),
+        }
+        for transistor, (vector, out_detect) in expected.items():
+            report = detection_behaviour(
+                XOR2, transistor, DeviceState.STUCK_AT_N
+            )
+            detecting = {
+                v for v, r in report.items()
+                if r["output_detect"] or r["iddq_detect"]
+            }
+            assert detecting == {vector}
+            assert report[vector]["iddq_detect"]
+            assert report[vector]["output_detect"] == out_detect
+
+    def test_channel_break_invisible(self):
+        for transistor in ("t1", "t2", "t3", "t4"):
+            report = detection_behaviour(
+                XOR2, transistor, DeviceState.STUCK_OPEN
+            )
+            assert not any(
+                r["output_detect"] or r["iddq_detect"]
+                for r in report.values()
+            )
+
+    def test_nand_break_not_masked(self):
+        """SP gates: a break floats the output (sequential behaviour) but
+        never silently masks — the two-pattern test can see it."""
+        from repro.logic.switch_level import evaluate as sw_eval
+
+        floats = 0
+        for vector in itertools.product((0, 1), repeat=2):
+            result = sw_eval(
+                NAND2, vector, {"t1": DeviceState.STUCK_OPEN}
+            )
+            if result.output == Z:
+                floats += 1
+        assert floats > 0
+
+
+@given(
+    st.sampled_from(sorted(ALL_CELLS)),
+    st.integers(min_value=0, max_value=7),
+    st.sampled_from(list(DeviceState)),
+)
+@settings(max_examples=60, deadline=None)
+def test_single_fault_never_crashes(cell_name, vector_bits, state):
+    """Property: the engine handles any single-device fault state on any
+    cell/vector without exceptions, and outputs stay in the value set."""
+    cell = ALL_CELLS[cell_name]
+    vector = tuple(
+        (vector_bits >> k) & 1 for k in range(cell.n_inputs)
+    )
+    target = cell.transistors[0].name
+    result = evaluate(cell, vector, {target: state})
+    assert result.output in (ZERO, ONE, X, Z)

@@ -1,0 +1,149 @@
+"""Tests for the TCAD-lite Poisson/drift-diffusion solver."""
+
+import numpy as np
+import pytest
+
+from repro.device.params import DEFAULT_PARAMS
+from repro.tcad import (
+    GOSSpec,
+    bernoulli,
+    build_mesh,
+    figure4_summary,
+    solve_continuity,
+    solve_device,
+    solve_poisson,
+)
+
+
+class TestMesh:
+    def test_regions_ordered(self):
+        mesh = build_mesh(nodes_per_segment=10)
+        labels = [r for r in mesh.region if r]
+        assert labels[0] == "pgs"
+        assert labels[-1] == "pgd"
+        assert "cg" in labels
+
+    def test_total_length(self):
+        mesh = build_mesh()
+        expected = DEFAULT_PARAMS.channel_length
+        assert mesh.x[-1] == pytest.approx(expected)
+
+    def test_gate_profile_levels(self):
+        mesh = build_mesh(nodes_per_segment=10)
+        profile = mesh.gate_voltage_profile(0.5, 1.0, 0.2)
+        assert profile[mesh.nodes_in("pgs")] == pytest.approx(0.5)
+        assert profile[mesh.nodes_in("cg")] == pytest.approx(1.0)
+        assert profile[mesh.nodes_in("pgd")] == pytest.approx(0.2)
+
+    def test_spacers_interpolate(self):
+        mesh = build_mesh(nodes_per_segment=10)
+        profile = mesh.gate_voltage_profile(0.0, 1.0, 0.0)
+        spacer = [k for k, r in enumerate(mesh.region) if not r]
+        assert all(0.0 <= profile[k] <= 1.0 for k in spacer)
+
+    def test_rejects_tiny_mesh(self):
+        with pytest.raises(ValueError):
+            build_mesh(nodes_per_segment=2)
+
+
+class TestBernoulli:
+    def test_at_zero(self):
+        assert bernoulli(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_symmetry_identity(self):
+        # B(-x) = B(x) + x.
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(
+            bernoulli(-x), bernoulli(x) + x, rtol=1e-10
+        )
+
+    def test_large_arguments_stable(self):
+        assert bernoulli(np.array([300.0]))[0] >= 0.0
+        assert np.isfinite(bernoulli(np.array([-300.0]))[0])
+
+
+class TestPoisson:
+    def test_equilibrium_flat_solution(self):
+        """With zero gate offset and aligned boundaries the potential
+        stays near the boundary value."""
+        mesh = build_mesh(nodes_per_segment=10)
+        phi = np.zeros(mesh.n)
+        vg = np.full(mesh.n, 0.2)
+        result = solve_poisson(
+            mesh, vg, phi, phi, (0.2, 0.2),
+        )
+        assert result.converged
+        assert np.all(np.abs(result.psi - 0.2) < 0.25)
+
+    def test_gate_raises_channel_potential(self):
+        mesh = build_mesh(nodes_per_segment=10)
+        phi = np.zeros(mesh.n)
+        low = solve_poisson(
+            mesh, np.full(mesh.n, 0.0), phi, phi, (0.1, 0.1)
+        )
+        high = solve_poisson(
+            mesh, np.full(mesh.n, 0.8), phi, phi, (0.1, 0.1)
+        )
+        mid = mesh.n // 2
+        assert high.psi[mid] > low.psi[mid]
+
+
+class TestContinuity:
+    def test_flat_potential_linear_profile(self):
+        """No field, no sink: pure diffusion gives a linear profile."""
+        mesh = build_mesh(nodes_per_segment=10)
+        psi = np.zeros(mesh.n)
+        result = solve_continuity(mesh, psi, (1e24, 1e20))
+        n = result.n
+        interior = n[1:-1]
+        linear = np.linspace(n[0], n[-1], mesh.n)[1:-1]
+        np.testing.assert_allclose(interior, linear, rtol=1e-6)
+
+    def test_sink_depletes(self):
+        mesh = build_mesh(nodes_per_segment=10)
+        psi = np.zeros(mesh.n)
+        sink = np.zeros(mesh.n)
+        sink[mesh.nodes_in("cg")] = 1e12
+        clean = solve_continuity(mesh, psi, (1e24, 1e24))
+        sunk = solve_continuity(mesh, psi, (1e24, 1e24), sink_rate=sink)
+        assert np.mean(sunk.n) < np.mean(clean.n)
+
+    def test_flux_conservation_without_sink(self):
+        mesh = build_mesh(nodes_per_segment=10)
+        psi = np.linspace(0.0, 0.3, mesh.n)
+        result = solve_continuity(mesh, psi, (1e24, 1e22))
+        flux = result.current_density
+        np.testing.assert_allclose(
+            flux, flux[0] * np.ones_like(flux), rtol=1e-6
+        )
+
+
+class TestDeviceSolve:
+    def test_fault_free_converges_to_inversion(self):
+        solution = solve_device(nodes_per_segment=25)
+        assert solution.converged
+        # ~1e19 cm^-3 scale channel density.
+        assert 1e18 < solution.mean_density_cm3 < 1e20
+
+    def test_gos_spec_validation(self):
+        with pytest.raises(ValueError):
+            GOSSpec("source")
+
+    def test_gos_default_plug_per_location(self):
+        assert GOSSpec("pgs").plug_drop > GOSSpec("cg").plug_drop
+
+    def test_figure4_ordering(self):
+        summary = figure4_summary(nodes_per_segment=25)
+        densities = {k: v.density_cm3 for k, v in summary.items()}
+        assert (
+            densities["fault-free"]
+            > densities["gos@cg"]
+            > densities["gos@pgd"]
+            > densities["gos@pgs"]
+        )
+
+    def test_figure4_within_3x_of_paper(self):
+        summary = figure4_summary(nodes_per_segment=25)
+        for name, case in summary.items():
+            ratio = case.density_cm3 / case.reference_cm3
+            assert 1 / 3 < ratio < 3, name
