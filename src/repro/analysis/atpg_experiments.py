@@ -13,8 +13,8 @@ import dataclasses
 from repro.analysis.report import ascii_table
 from repro.atpg.compaction import compact_tests
 from repro.atpg.fault_sim import (
+    parallel_polarity_simulation,
     parallel_stuck_at_simulation,
-    serial_polarity_simulation,
 )
 from repro.atpg.faults import (
     polarity_faults,
@@ -22,7 +22,7 @@ from repro.atpg.faults import (
     stuck_open_faults,
 )
 from repro.atpg.iddq import select_iddq_vectors
-from repro.atpg.podem import generate_test
+from repro.atpg.podem import run_stuck_at_atpg
 from repro.atpg.polarity_atpg import run_polarity_atpg
 from repro.circuits.generators import build_benchmark
 from repro.logic.network import Network
@@ -51,17 +51,11 @@ class CircuitCoverage:
 def classic_stuck_at_testset(
     network: Network, max_backtracks: int = 500
 ) -> list[dict[str, int]]:
-    """PODEM + greedy compaction: the classic production test set."""
+    """PODEM with fault dropping + greedy compaction: the classic
+    production test set."""
     faults = stuck_at_faults(network)
-    vectors: list[dict[str, int]] = []
-    for fault in faults:
-        result = generate_test(network, fault, max_backtracks)
-        if result.success:
-            full = dict(result.vector)
-            for net in network.primary_inputs:
-                full.setdefault(net, 0)
-            vectors.append(full)
-    compacted = compact_tests(network, vectors, faults)
+    atpg = run_stuck_at_atpg(network, faults, max_backtracks)
+    compacted = compact_tests(network, atpg.tests, faults)
     return compacted.vectors
 
 
@@ -75,7 +69,7 @@ def coverage_for(network: Network) -> CircuitCoverage:
     sa_result = parallel_stuck_at_simulation(network, sa_faults, test_set)
 
     if pol_faults:
-        pol_by_sa = serial_polarity_simulation(
+        pol_by_sa = parallel_polarity_simulation(
             network, pol_faults, test_set
         )
         pol_atpg = run_polarity_atpg(network, pol_faults)

@@ -1,11 +1,17 @@
-"""Test-set compaction (greedy set cover over a detection matrix)."""
+"""Test-set compaction (greedy set cover over a detection matrix).
+
+The detection matrix comes from one batched pass of the compiled
+engine (:func:`repro.atpg.fault_sim.stuck_at_detection_words`): every
+fault yields a word whose bit ``k`` marks detection by test ``k``, and
+the greedy cover then runs entirely on integer popcounts.
+"""
 
 from __future__ import annotations
 
 import dataclasses
 from typing import Mapping, Sequence
 
-from repro.atpg.fault_sim import parallel_stuck_at_simulation
+from repro.atpg.fault_sim import stuck_at_detection_words
 from repro.atpg.faults import StuckAtFault
 from repro.logic.network import Network
 
@@ -37,37 +43,38 @@ def compact_tests(
         for net in network.primary_inputs:
             t.setdefault(net, 0)
 
-    # Per-test detection sets via bit-parallel simulation, one test at a
-    # time (cheap: the fault list dominates).
-    detection_sets: list[set[str]] = []
-    for t in full:
-        result = parallel_stuck_at_simulation(network, faults, [t])
-        detection_sets.append(set(result.detected))
+    # One batched pass gives the whole fault x test detection matrix;
+    # transpose it into per-test fault masks for the set cover.
+    fault_words = stuck_at_detection_words(network, faults, full)
+    detection_masks = [0] * len(full)
+    for fi, word in enumerate(fault_words):
+        while word:
+            low = word & -word
+            detection_masks[low.bit_length() - 1] |= 1 << fi
+            word ^= low
 
-    target: set[str] = set()
-    for s in detection_sets:
-        target |= s
-
-    remaining = set(target)
+    remaining = 0
+    for mask in detection_masks:
+        remaining |= mask
     kept: list[int] = []
     while remaining:
         best, best_gain = None, 0
-        for k, s in enumerate(detection_sets):
+        for k, mask in enumerate(detection_masks):
             if k in kept:
                 continue
-            gain = len(s & remaining)
+            gain = (mask & remaining).bit_count()
             if gain > best_gain:
                 best, best_gain = k, gain
         if best is None:
             break
         kept.append(best)
-        remaining -= detection_sets[best]
+        remaining &= ~detection_masks[best]
 
     kept.sort()
-    covered: set[str] = set()
+    covered = 0
     for k in kept:
-        covered |= detection_sets[k]
-    coverage = len(covered) / len(faults) if faults else 1.0
+        covered |= detection_masks[k]
+    coverage = covered.bit_count() / len(faults) if faults else 1.0
     return CompactionResult(
         kept=kept,
         vectors=[full[k] for k in kept],

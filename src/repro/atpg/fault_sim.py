@@ -1,9 +1,29 @@
-"""Fault simulation: serial ternary, parallel-pattern bitwise, and
-two-pattern stuck-open simulation."""
+"""Fault simulation campaigns on the compiled bit-parallel engine.
+
+Two layers live here:
+
+* **Serial oracles** (:func:`detects_stuck_at`, :func:`detects_polarity`,
+  :func:`detects_stuck_open`) — one fault, one vector, evaluated on the
+  dict-based ternary simulator.  Slow but transparently close to the
+  definitions; the batched engine is validated against them
+  vector-for-vector in ``tests/test_compiled_engine.py``.
+* **Batched campaigns** (:func:`parallel_stuck_at_simulation`,
+  :func:`parallel_polarity_simulation`,
+  :func:`parallel_stuck_open_simulation`) and **detection matrices**
+  (:func:`stuck_at_detection_words` & friends) — whole fault lists over
+  whole vector sets on :class:`repro.logic.compiled.CompiledNetwork`,
+  with faults expressed as index-level :class:`~repro.logic.compiled.
+  FaultInjection` overrides instead of per-call dicts.
+
+The fault-injection override contract (line vs. pin vs. gate overrides)
+is documented once, in :mod:`repro.logic.compiled`.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import functools
+import itertools
 from typing import Mapping, Sequence
 
 from repro.atpg.faults import (
@@ -12,14 +32,31 @@ from repro.atpg.faults import (
     StuckOpenFault,
 )
 from repro.gates.library import ALL_CELLS
+from repro.logic.compiled import (
+    CompiledNetwork,
+    FaultInjection,
+    eval_table_packed,
+    minterm_word,
+    pack_vectors,
+)
 from repro.logic.network import Network
-from repro.logic.simulator import simulate_outputs, vectors_differ
+from repro.logic.simulator import simulate, simulate_outputs, vectors_differ
 from repro.logic.switch_level import DeviceState, evaluate
 from repro.logic.values import X, Z
 
 
 TestVector = Mapping[str, int]
 
+#: Vectors per batched pass.  Campaigns chunk so that fault dropping
+#: can skip already-detected faults on later chunks (64 balances word
+#: width against dropping granularity); detection-matrix builders pack
+#: everything into one pass.
+_CHUNK_BITS = 64
+
+
+# ---------------------------------------------------------------------------
+# Serial oracles (one fault x one vector, ternary simulator)
+# ---------------------------------------------------------------------------
 
 def detects_stuck_at(
     network: Network, fault: StuckAtFault, vector: TestVector
@@ -43,11 +80,6 @@ def detects_polarity(
     leakage) input combinations.
     """
     if iddq:
-        values = {}
-        good = simulate_outputs(network, vector)  # also fills net values
-        del good
-        from repro.logic.simulator import simulate
-
         values = simulate(network, vector)
         gate = network.gates[fault.gate]
         local = tuple(values[n] for n in gate.inputs)
@@ -73,7 +105,6 @@ def detects_stuck_open(
     difference.
     """
     cell = ALL_CELLS[fault.gtype]
-    from repro.logic.simulator import simulate
 
     # First pattern: the broken gate still drives (possibly through the
     # healthy partner network); compute its local output.
@@ -109,102 +140,47 @@ def detects_stuck_open(
 
 
 # ---------------------------------------------------------------------------
-# Parallel-pattern stuck-at fault simulation (64 patterns per word)
+# Fault -> index-level injection conversion
 # ---------------------------------------------------------------------------
 
-_WORD_BITS = 64
+def stuck_at_injection(
+    cnet: CompiledNetwork, fault: StuckAtFault
+) -> FaultInjection:
+    """Index-level injection for a stuck-at fault (stem or branch)."""
+    if fault.is_branch:
+        return FaultInjection(
+            pins={(cnet.gate_op[fault.gate], fault.pin): fault.value}
+        )
+    return FaultInjection(lines={cnet.net_index[fault.net]: fault.value})
 
 
-def _pack_patterns(
-    network: Network, vectors: Sequence[TestVector]
-) -> dict[str, int]:
-    packed: dict[str, int] = {}
-    for net in network.primary_inputs:
-        word = 0
-        for k, vector in enumerate(vectors):
-            if vector.get(net, 0) == 1:
-                word |= 1 << k
-        packed[net] = word
-    return packed
+def polarity_injection(
+    cnet: CompiledNetwork, fault: PolarityFault
+) -> FaultInjection:
+    """Index-level injection for a polarity fault (gate-table override)."""
+    return FaultInjection(
+        tables={cnet.gate_op[fault.gate]: fault.faulty_table()}
+    )
 
 
-def _eval_packed(gtype: str, pins: list[int], mask: int) -> int:
-    a = pins[0]
-    if gtype == "BUF":
-        return a
-    if gtype == "INV":
-        return ~a & mask
-    if gtype in ("AND2", "AND3"):
-        out = a
-        for p in pins[1:]:
-            out &= p
-        return out
-    if gtype in ("OR2", "OR3"):
-        out = a
-        for p in pins[1:]:
-            out |= p
-        return out
-    if gtype in ("NAND2", "NAND3"):
-        out = a
-        for p in pins[1:]:
-            out &= p
-        return ~out & mask
-    if gtype in ("NOR2", "NOR3"):
-        out = a
-        for p in pins[1:]:
-            out |= p
-        return ~out & mask
-    if gtype in ("XOR2", "XOR3"):
-        out = a
-        for p in pins[1:]:
-            out ^= p
-        return out
-    if gtype == "XNOR2":
-        return ~(a ^ pins[1]) & mask
-    if gtype == "MAJ3":
-        b, c = pins[1], pins[2]
-        return (a & b) | (b & c) | (a & c)
-    if gtype == "MIN3":
-        b, c = pins[1], pins[2]
-        return ~((a & b) | (b & c) | (a & c)) & mask
-    raise ValueError(f"unknown gate type {gtype!r}")
+@functools.lru_cache(maxsize=None)
+def _broken_local_table(
+    gtype: str, transistor: str
+) -> dict[tuple[int, ...], int]:
+    """Local table of a gate with one channel broken: 0/1/X/Z per
+    binary input vector (Z = output floats, retains previous value)."""
+    cell = ALL_CELLS[gtype]
+    return {
+        vector: evaluate(
+            cell, vector, {transistor: DeviceState.STUCK_OPEN}
+        ).output
+        for vector in itertools.product((0, 1), repeat=cell.n_inputs)
+    }
 
 
-def _simulate_packed(
-    network: Network,
-    packed_inputs: dict[str, int],
-    mask: int,
-    fault: StuckAtFault | None = None,
-) -> dict[str, int]:
-    stuck_word = None
-    if fault is not None:
-        stuck_word = mask if fault.value == 1 else 0
-    values: dict[str, int] = {}
-    for net in network.primary_inputs:
-        word = packed_inputs.get(net, 0)
-        if fault is not None and not fault.is_branch and fault.net == net:
-            word = stuck_word
-        values[net] = word
-    for gate in network.levelized():
-        pins = []
-        for k, net in enumerate(gate.inputs):
-            word = values[net]
-            if (
-                fault is not None
-                and fault.is_branch
-                and fault.gate == gate.name
-                and fault.pin == k
-            ):
-                word = stuck_word
-            pins.append(word)
-        out = _eval_packed(gate.gtype, pins, mask)
-        if fault is not None and not fault.is_branch and (
-            fault.net == gate.output
-        ):
-            out = stuck_word
-        values[gate.output] = out
-    return values
-
+# ---------------------------------------------------------------------------
+# Campaign result type
+# ---------------------------------------------------------------------------
 
 @dataclasses.dataclass
 class FaultSimResult:
@@ -225,30 +201,125 @@ class FaultSimResult:
         return len(self.detected) / total if total else 1.0
 
 
+# ---------------------------------------------------------------------------
+# Batched stuck-at campaigns
+# ---------------------------------------------------------------------------
+
+def stuck_at_detection_words(
+    network: Network,
+    faults: Sequence[StuckAtFault],
+    vectors: Sequence[TestVector],
+) -> list[int]:
+    """Full detection matrix: per fault, a word whose bit ``k`` is set
+    iff ``vectors[k]`` detects the fault (no dropping)."""
+    cnet = network.compiled()
+    packed = pack_vectors(cnet, vectors)
+    good = cnet.simulate(packed)
+    return [
+        cnet.detect_word(packed, good, stuck_at_injection(cnet, fault))
+        for fault in faults
+    ]
+
+
 def parallel_stuck_at_simulation(
     network: Network,
     faults: Sequence[StuckAtFault],
     vectors: Sequence[TestVector],
 ) -> FaultSimResult:
-    """Bit-parallel stuck-at fault simulation (64 patterns per pass)."""
+    """Bit-parallel stuck-at campaign with fault dropping.
+
+    Processes :data:`_CHUNK_BITS` vectors per pass; a fault detected in
+    an earlier chunk is never re-simulated.
+    """
+    cnet = network.compiled()
+    names = [f.name for f in faults]
+    injections = [stuck_at_injection(cnet, f) for f in faults]
+    detected: dict[str, int] = {}
+    undetected = set(names)
+    for base in range(0, len(vectors), _CHUNK_BITS):
+        if not undetected:
+            break
+        packed = pack_vectors(cnet, vectors[base:base + _CHUNK_BITS])
+        good = cnet.simulate(packed)
+        for name, injection in zip(names, injections):
+            if name not in undetected:
+                continue
+            diff = cnet.detect_word(packed, good, injection)
+            if diff:
+                detected[name] = base + (diff & -diff).bit_length() - 1
+                undetected.discard(name)
+    return FaultSimResult(
+        detected=detected, undetected=sorted(undetected)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched polarity campaigns (voltage and IDDQ observables)
+# ---------------------------------------------------------------------------
+
+def polarity_detection_words(
+    network: Network,
+    faults: Sequence[PolarityFault],
+    vectors: Sequence[TestVector],
+    iddq: bool = False,
+) -> list[int]:
+    """Per-fault detection words for polarity faults.
+
+    Voltage mode injects the faulty local table and compares outputs;
+    IDDQ mode needs only the shared fault-free simulation — a vector
+    covers a fault when it drives the gate into a conflict-activating
+    local combination.
+    """
+    cnet = network.compiled()
+    packed = pack_vectors(cnet, vectors)
+    good = cnet.simulate(packed)
+    words = []
+    for fault in faults:
+        if iddq:
+            pin_words = cnet.gate_input_words(good, fault.gate)
+            word = 0
+            for minterm in fault.iddq_vectors():
+                word |= minterm_word(pin_words, minterm, packed.mask)
+            words.append(word)
+        else:
+            words.append(
+                cnet.detect_word(
+                    packed, good, polarity_injection(cnet, fault)
+                )
+            )
+    return words
+
+
+def parallel_polarity_simulation(
+    network: Network,
+    faults: Sequence[PolarityFault],
+    vectors: Sequence[TestVector],
+    iddq: bool = False,
+) -> FaultSimResult:
+    """Batched polarity-fault campaign (voltage or IDDQ observables)."""
+    cnet = network.compiled()
     detected: dict[str, int] = {}
     undetected = {f.name for f in faults}
-    po = network.primary_outputs
-    for base in range(0, len(vectors), _WORD_BITS):
-        chunk = vectors[base:base + _WORD_BITS]
-        mask = (1 << len(chunk)) - 1
-        packed = _pack_patterns(network, chunk)
-        good = _simulate_packed(network, packed, mask)
+    for base in range(0, len(vectors), _CHUNK_BITS):
+        if not undetected:
+            break
+        chunk = vectors[base:base + _CHUNK_BITS]
+        packed = pack_vectors(cnet, chunk)
+        good = cnet.simulate(packed)
         for fault in faults:
             if fault.name not in undetected:
                 continue
-            bad = _simulate_packed(network, packed, mask, fault)
-            diff = 0
-            for net in po:
-                diff |= good[net] ^ bad[net]
-            if diff:
-                first = (diff & -diff).bit_length() - 1
-                detected[fault.name] = base + first
+            if iddq:
+                pin_words = cnet.gate_input_words(good, fault.gate)
+                word = 0
+                for minterm in fault.iddq_vectors():
+                    word |= minterm_word(pin_words, minterm, packed.mask)
+            else:
+                word = cnet.detect_word(
+                    packed, good, polarity_injection(cnet, fault)
+                )
+            if word:
+                detected[fault.name] = base + (word & -word).bit_length() - 1
                 undetected.discard(fault.name)
     return FaultSimResult(
         detected=detected, undetected=sorted(undetected)
@@ -261,7 +332,8 @@ def serial_polarity_simulation(
     vectors: Sequence[TestVector],
     iddq: bool = False,
 ) -> FaultSimResult:
-    """Serial polarity-fault simulation (voltage or IDDQ observables)."""
+    """Serial polarity campaign — kept as the cross-check oracle for
+    :func:`parallel_polarity_simulation`."""
     detected: dict[str, int] = {}
     undetected = {f.name for f in faults}
     for k, vector in enumerate(vectors):
@@ -270,6 +342,111 @@ def serial_polarity_simulation(
                 continue
             if detects_polarity(network, fault, vector, iddq=iddq):
                 detected[fault.name] = k
+                undetected.discard(fault.name)
+    return FaultSimResult(
+        detected=detected, undetected=sorted(undetected)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched two-pattern stuck-open campaigns
+# ---------------------------------------------------------------------------
+
+def _stuck_open_bad_words(
+    cnet: CompiledNetwork,
+    fault: StuckOpenFault,
+    good_init,
+    good_test,
+    mask: int,
+) -> tuple[int, int]:
+    """Faulty-gate output words under the test patterns.
+
+    The broken gate's local inputs equal the fault-free values (the
+    fault is at the gate itself), so the retained init value and the
+    floating/test behaviour come straight from the precomputed broken
+    table: definite entries drive their rails, Z entries copy the
+    init-pattern output word bitwise.
+    """
+    table = _broken_local_table(fault.gtype, fault.transistor)
+    init_pins = cnet.gate_input_words(good_init, fault.gate)
+    test_pins = cnet.gate_input_words(good_test, fault.gate)
+    init_ones, init_zeros = eval_table_packed(table, init_pins, mask)
+    ones = 0
+    zeros = 0
+    for minterm, value in table.items():
+        word = minterm_word(test_pins, minterm, mask)
+        if not word:
+            continue
+        if value == 1:
+            ones |= word
+        elif value == 0:
+            zeros |= word
+        elif value == Z:
+            ones |= word & init_ones
+            zeros |= word & init_zeros
+    return ones, zeros
+
+
+def stuck_open_detection_words(
+    network: Network,
+    faults: Sequence[StuckOpenFault],
+    pairs: Sequence[tuple[TestVector, TestVector]],
+) -> list[int]:
+    """Per-fault detection words over (init, test) two-pattern pairs."""
+    cnet = network.compiled()
+    init_packed = pack_vectors(cnet, [p[0] for p in pairs])
+    test_packed = pack_vectors(cnet, [p[1] for p in pairs])
+    good_init = cnet.simulate(init_packed)
+    good_test = cnet.simulate(test_packed)
+    words = []
+    for fault in faults:
+        forced = _stuck_open_bad_words(
+            cnet, fault, good_init, good_test, test_packed.mask
+        )
+        words.append(
+            cnet.detect_word(
+                test_packed,
+                good_test,
+                FaultInjection(
+                    words={cnet.gate_output_index(fault.gate): forced}
+                ),
+            )
+        )
+    return words
+
+
+def parallel_stuck_open_simulation(
+    network: Network,
+    faults: Sequence[StuckOpenFault],
+    pairs: Sequence[tuple[TestVector, TestVector]],
+) -> FaultSimResult:
+    """Batched two-pattern stuck-open campaign with fault dropping."""
+    cnet = network.compiled()
+    detected: dict[str, int] = {}
+    undetected = {f.name for f in faults}
+    for base in range(0, len(pairs), _CHUNK_BITS):
+        if not undetected:
+            break
+        chunk = pairs[base:base + _CHUNK_BITS]
+        init_packed = pack_vectors(cnet, [p[0] for p in chunk])
+        test_packed = pack_vectors(cnet, [p[1] for p in chunk])
+        good_init = cnet.simulate(init_packed)
+        good_test = cnet.simulate(test_packed)
+        for fault in faults:
+            if fault.name not in undetected:
+                continue
+            forced = _stuck_open_bad_words(
+                cnet, fault, good_init, good_test, test_packed.mask
+            )
+            diff = cnet.detect_word(
+                test_packed,
+                good_test,
+                FaultInjection(
+                    words={cnet.gate_output_index(fault.gate): forced}
+                ),
+            )
+            if diff:
+                detected[fault.name] = base + (diff & -diff).bit_length() - 1
                 undetected.discard(fault.name)
     return FaultSimResult(
         detected=detected, undetected=sorted(undetected)

@@ -350,3 +350,83 @@ def generate_test(
         line_fault=fault,
         max_backtracks=max_backtracks,
     )
+
+
+@dataclasses.dataclass
+class StuckAtAtpgResult:
+    """Outcome of a full stuck-at ATPG campaign with fault dropping.
+
+    Attributes:
+        tests: Generated vectors (fully specified), in generation order.
+        detected: Fault name -> index into ``tests`` of the detecting
+            vector (for dropped faults, the test that dropped them).
+        untestable: Faults proven untestable within the search bound.
+        aborted: Faults the backtrack budget gave up on.
+    """
+
+    tests: list[dict[str, int]]
+    detected: dict[str, int]
+    untestable: list[str]
+    aborted: list[str]
+
+    @property
+    def coverage(self) -> float:
+        total = (
+            len(self.detected) + len(self.untestable) + len(self.aborted)
+        )
+        return len(self.detected) / total if total else 1.0
+
+
+def run_stuck_at_atpg(
+    network: Network,
+    faults: Sequence[StuckAtFault] | None = None,
+    max_backtracks: int = 500,
+) -> StuckAtAtpgResult:
+    """PODEM over a fault list with bit-parallel fault dropping.
+
+    After each successful generation the new vector is fault-simulated
+    (on the compiled engine) against every still-undetected fault, and
+    all detected faults are dropped — the classic ATPG loop that avoids
+    generating a dedicated test per fault.
+    """
+    from repro.atpg.fault_sim import stuck_at_detection_words
+    from repro.atpg.faults import stuck_at_faults
+
+    if faults is None:
+        faults = stuck_at_faults(network)
+    tests: list[dict[str, int]] = []
+    detected: dict[str, int] = {}
+    untestable: list[str] = []
+    aborted: list[str] = []
+    suspect: list[str] = []
+    remaining = list(faults)
+    for fault in faults:
+        if fault.name in detected:
+            continue
+        result = generate_test(network, fault, max_backtracks)
+        if not result.success:
+            (aborted if result.aborted else untestable).append(fault.name)
+            remaining = [f for f in remaining if f.name != fault.name]
+            continue
+        vector = dict(result.vector)
+        for net in network.primary_inputs:
+            vector.setdefault(net, 0)
+        index = len(tests)
+        tests.append(vector)
+        remaining = [f for f in remaining if f.name not in detected]
+        words = stuck_at_detection_words(network, remaining, [vector])
+        for dropped, word in zip(remaining, words):
+            if word:
+                detected[dropped.name] = index
+        if fault.name not in detected:
+            # PODEM claimed success but simulation disagrees; the fault
+            # stays live for collateral detection and is reported as
+            # aborted only if nothing ever detects it.
+            suspect.append(fault.name)
+    aborted.extend(n for n in suspect if n not in detected)
+    return StuckAtAtpgResult(
+        tests=tests,
+        detected=detected,
+        untestable=sorted(untestable),
+        aborted=sorted(aborted),
+    )

@@ -43,11 +43,15 @@ class SofAtpgResult:
     masked: list[StuckOpenFault]
     """DP-masked faults: need the channel-break procedure."""
     untestable: list[StuckOpenFault]
+    dropped: dict[str, int] = dataclasses.field(default_factory=dict)
+    """Fault name -> index into ``tests`` of the pattern pair that
+    detected it during fault dropping (no dedicated test generated)."""
 
     @property
     def coverage(self) -> float:
-        total = len(self.tests) + len(self.masked) + len(self.untestable)
-        return len(self.tests) / total if total else 1.0
+        covered = len(self.tests) + len(self.dropped)
+        total = covered + len(self.masked) + len(self.untestable)
+        return covered / total if total else 1.0
 
 
 def _fill_dont_cares(network: Network, vector: dict[str, int]) -> dict[str, int]:
@@ -132,8 +136,16 @@ def run_sof_atpg(
     network: Network,
     faults: list[StuckOpenFault] | None = None,
     max_backtracks: int = 500,
+    drop_detected: bool = False,
 ) -> SofAtpgResult:
-    """Two-pattern ATPG over all (or the given) stuck-open faults."""
+    """Two-pattern ATPG over all (or the given) stuck-open faults.
+
+    With ``drop_detected``, every generated pattern pair is batch
+    fault-simulated (compiled engine) against the still-untargeted
+    faults; collaterally detected faults are dropped instead of getting
+    a dedicated test — far fewer PODEM searches on large circuits.
+    """
+    from repro.atpg.fault_sim import stuck_open_detection_words
     from repro.atpg.faults import stuck_open_faults
 
     if faults is None:
@@ -141,15 +153,33 @@ def run_sof_atpg(
     tests: list[StuckOpenTest] = []
     masked: list[StuckOpenFault] = []
     untestable: list[StuckOpenFault] = []
-    for fault in faults:
+    dropped: dict[str, int] = {}
+    for k, fault in enumerate(faults):
+        if fault.name in dropped:
+            continue
         if fault.is_masked():
             masked.append(fault)
             continue
         test = generate_stuck_open_test(
             network, fault, max_backtracks=max_backtracks
         )
-        if test is not None:
-            tests.append(test)
-        else:
+        if test is None:
             untestable.append(fault)
-    return SofAtpgResult(tests=tests, masked=masked, untestable=untestable)
+            continue
+        tests.append(test)
+        if not drop_detected:
+            continue
+        candidates = [
+            f for f in faults[k + 1:]
+            if f.name not in dropped and not f.is_masked()
+        ]
+        words = stuck_open_detection_words(
+            network, candidates,
+            [(test.init_vector, test.test_vector)],
+        )
+        for candidate, word in zip(candidates, words):
+            if word:
+                dropped[candidate.name] = len(tests) - 1
+    return SofAtpgResult(
+        tests=tests, masked=masked, untestable=untestable, dropped=dropped
+    )

@@ -3,7 +3,9 @@
 from repro.circuits.generators import (
     BENCHMARK_BUILDERS,
     C17_BENCH,
+    alu,
     alu_bit_slice,
+    array_multiplier,
     build_benchmark,
     c17,
     equality_comparator,
@@ -16,7 +18,9 @@ from repro.circuits.generators import (
 __all__ = [
     "BENCHMARK_BUILDERS",
     "C17_BENCH",
+    "alu",
     "alu_bit_slice",
+    "array_multiplier",
     "build_benchmark",
     "c17",
     "equality_comparator",

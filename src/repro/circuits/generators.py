@@ -212,16 +212,152 @@ def alu_bit_slice() -> Network:
     return network
 
 
+def alu(width: int) -> Network:
+    """A ``width``-bit ALU: ripple of :func:`alu_bit_slice` structures
+    sharing the op0/op1 control bits, with a carry chain through the
+    MAJ3 carry cells.
+
+    Per bit: AND/OR/XOR/SUM function units plus NAND-based 4:1 select —
+    the mixed SP/DP workload the compiled fault-simulation engine is
+    benchmarked on.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    network = Network(f"alu{width}")
+    for k in range(width):
+        network.add_input(f"a{k}")
+        network.add_input(f"b{k}")
+    network.add_input("cin")
+    for net in ("op0", "op1"):
+        network.add_input(net)
+    network.add_gate("inv_op0", "INV", ["op0"], "op0_n")
+    network.add_gate("inv_op1", "INV", ["op1"], "op1_n")
+    carry = "cin"
+    for k in range(width):
+        a, b = f"a{k}", f"b{k}"
+        p = f"s{k}_"  # per-slice prefix for gates and internal nets
+        network.add_gate(f"{p}and_n", "NAND2", [a, b], f"{p}fand_n")
+        network.add_gate(f"{p}and", "INV", [f"{p}fand_n"], f"{p}fand")
+        network.add_gate(f"{p}or_n", "NOR2", [a, b], f"{p}for_n")
+        network.add_gate(f"{p}or", "INV", [f"{p}for_n"], f"{p}for")
+        network.add_gate(f"{p}xor", "XOR2", [a, b], f"{p}fxor")
+        network.add_gate(f"{p}sum", "XOR3", [a, b, carry], f"{p}fsum")
+        network.add_gate(f"{p}cout", "MAJ3", [a, b, carry], f"c{k}")
+        network.add_gate(
+            f"{p}m0", "NAND3", [f"{p}fand", "op0_n", "op1_n"], f"{p}m0"
+        )
+        network.add_gate(
+            f"{p}m1", "NAND3", [f"{p}for", "op0", "op1_n"], f"{p}m1"
+        )
+        network.add_gate(
+            f"{p}m2", "NAND3", [f"{p}fxor", "op0_n", "op1"], f"{p}m2"
+        )
+        network.add_gate(
+            f"{p}m3", "NAND3", [f"{p}fsum", "op0", "op1"], f"{p}m3"
+        )
+        network.add_gate(f"{p}ma_n", "NAND2", [f"{p}m0", f"{p}m1"], f"{p}ma_n")
+        network.add_gate(f"{p}ma", "INV", [f"{p}ma_n"], f"{p}ma")
+        network.add_gate(f"{p}mb_n", "NAND2", [f"{p}m2", f"{p}m3"], f"{p}mb_n")
+        network.add_gate(f"{p}mb", "INV", [f"{p}mb_n"], f"{p}mb")
+        network.add_gate(f"{p}out", "NAND2", [f"{p}ma", f"{p}mb"], f"y{k}")
+        network.add_output(f"y{k}")
+        carry = f"c{k}"
+    network.add_output(carry)
+    network.validate()
+    return network
+
+
+def array_multiplier(width: int) -> Network:
+    """A ``width`` x ``width`` unsigned array multiplier.
+
+    Partial products are NAND2+INV AND cells (the SP library idiom);
+    rows are accumulated with XOR2/XOR3 sum and NAND-AND / MAJ3 carry
+    half/full adders — a large mixed SP/DP stress circuit for the
+    batched fault-simulation campaigns.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    network = Network(f"mul{width}")
+    for k in range(width):
+        network.add_input(f"a{k}")
+    for k in range(width):
+        network.add_input(f"b{k}")
+
+    def add_and(name: str, x: str, y: str, out: str) -> str:
+        network.add_gate(f"{name}_n", "NAND2", [x, y], f"{out}_n")
+        network.add_gate(name, "INV", [f"{out}_n"], out)
+        return out
+
+    pp = [
+        [
+            add_and(f"pp{i}_{j}", f"a{j}", f"b{i}", f"pp{i}_{j}o")
+            for j in range(width)
+        ]
+        for i in range(width)
+    ]
+
+    def half_adder(name: str, x: str, y: str) -> tuple[str, str]:
+        network.add_gate(f"{name}_s", "XOR2", [x, y], f"{name}_so")
+        carry = add_and(f"{name}_c", x, y, f"{name}_co")
+        return f"{name}_so", carry
+
+    def full_adder(name: str, x: str, y: str, z: str) -> tuple[str, str]:
+        network.add_gate(f"{name}_s", "XOR3", [x, y, z], f"{name}_so")
+        network.add_gate(f"{name}_c", "MAJ3", [x, y, z], f"{name}_co")
+        return f"{name}_so", f"{name}_co"
+
+    product: list[str] = []
+    acc = pp[0]  # weights i .. i+width-1 at the start of row i
+    top_carry: str | None = None
+    for i in range(1, width):
+        product.append(acc[0])
+        new_acc: list[str] = []
+        carry: str | None = None
+        for k in range(width):
+            operands = [pp[i][k]]
+            if k + 1 < len(acc):
+                operands.append(acc[k + 1])
+            elif top_carry is not None:
+                operands.append(top_carry)
+            if carry is not None:
+                operands.append(carry)
+            name = f"add{i}_{k}"
+            if len(operands) == 1:
+                total, carry = operands[0], None
+            elif len(operands) == 2:
+                total, carry = half_adder(name, *operands)
+            else:
+                total, carry = full_adder(name, *operands)
+            new_acc.append(total)
+        acc = new_acc
+        top_carry = carry
+    product.extend(acc)
+    if top_carry is not None:
+        product.append(top_carry)
+    for k, net in enumerate(product):
+        network.add_gate(f"buf_p{k}", "BUF", [net], f"p{k}")
+        network.add_output(f"p{k}")
+    network.validate()
+    return network
+
+
 BENCHMARK_BUILDERS = {
     "c17": c17,
     "rca4": lambda: ripple_carry_adder(4),
     "rca8": lambda: ripple_carry_adder(8),
+    "rca16": lambda: ripple_carry_adder(16),
+    "rca32": lambda: ripple_carry_adder(32),
     "parity8": lambda: parity_tree(8),
     "parity16": lambda: parity_tree(16),
+    "parity32": lambda: parity_tree(32),
     "tmr_voter": majority_voter,
     "eq4": lambda: equality_comparator(4),
+    "eq8": lambda: equality_comparator(8),
     "mux8": lambda: mux_tree(3),
     "alu_slice": alu_bit_slice,
+    "alu4": lambda: alu(4),
+    "alu8": lambda: alu(8),
+    "mul4": lambda: array_multiplier(4),
 }
 
 

@@ -1,7 +1,38 @@
 """Logic substrate: multi-valued values, switch-level simulation of CP
-transistor networks, gate-level networks and simulation, netlist I/O."""
+transistor networks, gate-level networks and simulation, netlist I/O.
+
+Two gate-level simulation paths are provided:
+
+* the serial ternary simulator (:func:`simulate` /
+  :func:`simulate_outputs`) — one vector per call, overrides as
+  callables and dicts; the reference semantics, and
+* the compiled bit-parallel engine (:mod:`repro.logic.compiled`) —
+  the whole vector batch per pass, faults as index-level
+  :class:`~repro.logic.compiled.FaultInjection` overrides.  The
+  override contract shared by both paths is documented there.
+
+Usage — simulate a generated benchmark both ways::
+
+    from repro.circuits import ripple_carry_adder
+    from repro.logic import simulate_outputs
+    from repro.logic.compiled import pack_vectors
+
+    network = ripple_carry_adder(4)
+    vector = {n: 0 for n in network.primary_inputs} | {"a0": 1}
+    print(simulate_outputs(network, vector))    # serial, one vector
+
+    cnet = network.compiled()                   # flattened, cached
+    state = cnet.simulate(pack_vectors(cnet, [vector]))
+    print(cnet.outputs_unpacked(state, 0))      # same values
+"""
 
 from repro.logic.bench_format import parse_bench, write_bench
+from repro.logic.compiled import (
+    CompiledNetwork,
+    FaultInjection,
+    PackedVectors,
+    pack_vectors,
+)
 from repro.logic.network import (
     DP_GATE_TYPES,
     GATE_ARITY,
@@ -45,14 +76,18 @@ from repro.logic.values import (
 )
 
 __all__ = [
+    "CompiledNetwork",
     "D",
     "DBAR",
     "DP_GATE_TYPES",
     "DValue",
     "DeviceState",
+    "FaultInjection",
     "GATE_ARITY",
     "Gate",
     "Network",
+    "PackedVectors",
+    "pack_vectors",
     "ONE",
     "SP_GATE_TYPES",
     "SwitchLevelResult",

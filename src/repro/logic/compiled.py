@@ -1,0 +1,641 @@
+"""Compiled bit-parallel gate-level simulation.
+
+This module is the fast counterpart of :mod:`repro.logic.simulator`.
+A :class:`CompiledNetwork` flattens a (levelized) :class:`~repro.logic.
+network.Network` once into integer-indexed op arrays — every net gets a
+dense index, every gate becomes an ``(opcode, output_index,
+input_indices)`` triple in topological order — so that simulation is a
+tight loop over machine integers instead of a walk over dicts of
+strings.
+
+**Word-packed dual-rail encoding.**  A whole batch of test vectors is
+evaluated per pass: vector ``k`` of the batch lives in bit ``k`` of two
+Python integers per net, the *ones* rail and the *zeros* rail.  A bit
+set in the ones rail means "this vector definitely produces 1 on this
+net"; set in the zeros rail means "definitely 0"; set in neither means
+X (unknown).  Python's big integers make the batch width unbounded —
+64+ vectors per machine word, any number of words — and every gate of
+the network is evaluated once per batch with a handful of bitwise
+AND/OR operations, exactly matching the Kleene ternary semantics of
+:func:`repro.logic.eval.eval_ternary` (equivalence is enforced by
+``tests/test_compiled_engine.py``).
+
+**Fault-injection override contract.**  This is the single normative
+description of how faults enter a simulation; the serial simulator's
+keyword arguments (``line_overrides`` / ``pin_overrides`` /
+``gate_overrides`` in :func:`repro.logic.simulator.simulate`) and the
+index-level :class:`FaultInjection` used here express the same three
+mechanisms:
+
+* **Line override** — force a *net* to a constant.  Applied wherever
+  the net's value is written: at primary-input load and after the
+  driving gate evaluates.  This models *stem* stuck-at faults and, in
+  word form (:attr:`FaultInjection.words`), lets a caller force an
+  arbitrary per-vector pattern onto a net (used by the two-pattern
+  stuck-open engine to inject retained values).
+* **Pin override** — force one *input pin* of one gate, leaving the
+  net itself (and its other fanout branches) untouched.  This models
+  *branch* stuck-at faults.  Keyed ``(gate, pin_index)`` serially,
+  ``(op_index, pin_index)`` here.
+* **Gate override** — replace a gate's local function.  Serially this
+  is a callable; here it is the equivalent *local truth table* mapping
+  binary input tuples to 0/1/X (any non-binary pin yields X).  This
+  models the paper's polarity faults, whose faulty tables come from the
+  switch-level engine via
+  :meth:`repro.atpg.faults.PolarityFault.faulty_table`.
+
+Usage::
+
+    from repro.circuits import ripple_carry_adder
+    from repro.logic.compiled import FaultInjection, pack_vectors
+
+    network = ripple_carry_adder(8)
+    cnet = network.compiled()                  # built once, cached
+    packed = pack_vectors(cnet, vectors)       # all vectors, one batch
+    good = cnet.simulate(packed)
+    sa0 = FaultInjection(lines={cnet.net_index["s3"]: 0})
+    bad = cnet.simulate(packed, sa0)
+    diff = cnet.output_diff(good, bad)         # bit k set -> vector k
+                                               # detects the fault
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Mapping, Sequence, TYPE_CHECKING
+
+from repro.logic.values import X
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.logic.network import Network
+
+# Opcodes: arity is implied by the stored input-index tuple, so the
+# 2- and 3-input variants of a function share one opcode.
+OP_BUF = 0
+OP_INV = 1
+OP_AND = 2
+OP_OR = 3
+OP_NAND = 4
+OP_NOR = 5
+OP_XOR = 6
+OP_XNOR = 7
+OP_MAJ = 8
+OP_MIN = 9
+
+_OPCODE = {
+    "BUF": OP_BUF,
+    "INV": OP_INV,
+    "AND2": OP_AND,
+    "AND3": OP_AND,
+    "OR2": OP_OR,
+    "OR3": OP_OR,
+    "NAND2": OP_NAND,
+    "NAND3": OP_NAND,
+    "NOR2": OP_NOR,
+    "NOR3": OP_NOR,
+    "XOR2": OP_XOR,
+    "XOR3": OP_XOR,
+    "XNOR2": OP_XNOR,
+    "MAJ3": OP_MAJ,
+    "MIN3": OP_MIN,
+}
+
+#: Dual-rail net state for one batch: (ones_rails, zeros_rails), each a
+#: list indexed by net index.
+PackedState = tuple[list[int], list[int]]
+
+
+@dataclasses.dataclass(frozen=True)
+class PackedVectors:
+    """A batch of test vectors packed bit-per-vector into rail words.
+
+    Attributes:
+        n: Number of vectors in the batch.
+        mask: ``(1 << n) - 1`` — the all-vectors word.
+        ones: Primary-input net index -> ones-rail word.
+        zeros: Primary-input net index -> zeros-rail word.
+        binary: True when no vector carries an X — every net value is
+            then the complement pair ``(w, mask ^ w)``, enabling the
+            single-rail fast path for binary-preserving faults.
+    """
+
+    n: int
+    mask: int
+    ones: dict[int, int]
+    zeros: dict[int, int]
+    binary: bool = False
+
+
+def pack_vectors(
+    cnet: CompiledNetwork,
+    vectors: Sequence[Mapping[str, int]],
+) -> PackedVectors:
+    """Pack test vectors for ``cnet``; missing / X entries stay X.
+
+    Mirrors the serial simulator's convention that a primary input
+    absent from the vector is unknown.
+    """
+    n = len(vectors)
+    ones: dict[int, int] = {}
+    zeros: dict[int, int] = {}
+    for net, idx in cnet.pi_items:
+        o = z = 0
+        for k, vector in enumerate(vectors):
+            value = vector.get(net, X)
+            if value == 1:
+                o |= 1 << k
+            elif value == 0:
+                z |= 1 << k
+        ones[idx] = o
+        zeros[idx] = z
+    mask = (1 << n) - 1 if n else 0
+    binary = all(ones[i] | zeros[i] == mask for i in ones)
+    return PackedVectors(n=n, mask=mask, ones=ones, zeros=zeros,
+                         binary=binary)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultInjection:
+    """Index-level fault overrides for one compiled simulation.
+
+    See the module docstring for the override contract.  All maps are
+    optional; an empty injection is the fault-free machine.
+
+    Attributes:
+        lines: Net index -> forced constant (0/1), applied at every
+            write of that net (stem stuck-at faults).
+        pins: ``(op_index, pin_index)`` -> forced constant (0/1),
+            applied to that single gate input (branch stuck-at faults).
+        tables: Op index -> faulty local truth table (binary input
+            tuple -> 0/1/X) replacing the gate function (polarity
+            faults and other functional faults).
+        words: Net index -> forced ``(ones, zeros)`` rail words,
+            applied like a line override but with per-vector values
+            (stuck-open retained-value injection).
+    """
+
+    lines: Mapping[int, int] = dataclasses.field(default_factory=dict)
+    pins: Mapping[tuple[int, int], int] = dataclasses.field(
+        default_factory=dict
+    )
+    tables: Mapping[int, Mapping[tuple[int, ...], int]] = dataclasses.field(
+        default_factory=dict
+    )
+    words: Mapping[int, tuple[int, int]] = dataclasses.field(
+        default_factory=dict
+    )
+
+
+def minterm_word(
+    pin_words: Sequence[tuple[int, int]],
+    minterm: Sequence[int],
+    mask: int,
+) -> int:
+    """Word of vectors whose pins definitely equal ``minterm``.
+
+    A vector with any X pin matches no minterm (the serial engines
+    treat non-binary local inputs as unresolvable).
+    """
+    word = mask
+    for (o, z), bit in zip(pin_words, minterm):
+        word &= o if bit else z
+        if not word:
+            break
+    return word
+
+
+def eval_table_packed(
+    table: Mapping[tuple[int, ...], int],
+    pin_words: Sequence[tuple[int, int]],
+    mask: int,
+) -> tuple[int, int]:
+    """Evaluate a local truth table over packed dual-rail pin words.
+
+    Table values outside (0, 1) — X, Z — contribute to neither rail, so
+    those vectors come out X, matching the serial gate-override path.
+    """
+    ones = 0
+    zeros = 0
+    for minterm, value in table.items():
+        if value == 1:
+            ones |= minterm_word(pin_words, minterm, mask)
+        elif value == 0:
+            zeros |= minterm_word(pin_words, minterm, mask)
+    return ones, zeros
+
+
+def _eval_gate(
+    code: int, pw: Sequence[tuple[int, int]]
+) -> tuple[int, int]:
+    """Dual-rail evaluation of one opcode over packed pin words."""
+    a1, a0 = pw[0]
+    if code == OP_BUF:
+        return a1, a0
+    if code == OP_INV:
+        return a0, a1
+    if code == OP_AND or code == OP_NAND:
+        o, z = a1, a0
+        for b1, b0 in pw[1:]:
+            o &= b1
+            z |= b0
+        return (z, o) if code == OP_NAND else (o, z)
+    if code == OP_OR or code == OP_NOR:
+        o, z = a1, a0
+        for b1, b0 in pw[1:]:
+            o |= b1
+            z &= b0
+        return (z, o) if code == OP_NOR else (o, z)
+    if code == OP_XOR or code == OP_XNOR:
+        o, z = a1, a0
+        for b1, b0 in pw[1:]:
+            o, z = (o & b0) | (z & b1), (o & b1) | (z & b0)
+        return (z, o) if code == OP_XNOR else (o, z)
+    # OP_MAJ / OP_MIN
+    b1, b0 = pw[1]
+    c1, c0 = pw[2]
+    o = (a1 & b1) | (b1 & c1) | (a1 & c1)
+    z = (a0 & b0) | (b0 & c0) | (a0 & c0)
+    return (z, o) if code == OP_MIN else (o, z)
+
+
+def _eval_gate_binary(
+    code: int, pv: Sequence[int], mask: int
+) -> int:
+    """Single-rail (no-X) evaluation of one opcode over packed words."""
+    a = pv[0]
+    if code == OP_BUF:
+        return a
+    if code == OP_INV:
+        return a ^ mask
+    if code == OP_AND or code == OP_NAND:
+        for b in pv[1:]:
+            a &= b
+        return a ^ mask if code == OP_NAND else a
+    if code == OP_OR or code == OP_NOR:
+        for b in pv[1:]:
+            a |= b
+        return a ^ mask if code == OP_NOR else a
+    if code == OP_XOR or code == OP_XNOR:
+        for b in pv[1:]:
+            a ^= b
+        return a ^ mask if code == OP_XNOR else a
+    # OP_MAJ / OP_MIN
+    b, c = pv[1], pv[2]
+    out = (a & b) | (b & c) | (a & c)
+    return out ^ mask if code == OP_MIN else out
+
+
+class CompiledNetwork:
+    """A :class:`~repro.logic.network.Network` flattened for speed.
+
+    Build once per network (``network.compiled()`` caches the instance
+    alongside the levelization cache) and reuse across any number of
+    batches and fault injections.
+
+    Attributes:
+        network: The source network.
+        net_names: Dense index -> net name.
+        net_index: Net name -> dense index.
+        pi_index / po_index: Primary input/output net indices, in the
+            network's declared order.
+        ops: Per-gate ``(opcode, output_index, input_indices)`` in
+            topological order.
+        gate_op: Gate name -> position in :attr:`ops`.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        order = network.levelized()
+        self.net_index: dict[str, int] = {}
+        self.net_names: list[str] = []
+
+        def index_of(net: str) -> int:
+            idx = self.net_index.get(net)
+            if idx is None:
+                idx = len(self.net_names)
+                self.net_index[net] = idx
+                self.net_names.append(net)
+            return idx
+
+        self.pi_index = [index_of(n) for n in network.primary_inputs]
+        self.pi_items = list(
+            zip(network.primary_inputs, self.pi_index)
+        )
+        self.ops: list[tuple[int, int, tuple[int, ...]]] = []
+        self.gate_op: dict[str, int] = {}
+        for gate in order:
+            ins = tuple(index_of(n) for n in gate.inputs)
+            out = index_of(gate.output)
+            self.gate_op[gate.name] = len(self.ops)
+            self.ops.append((_OPCODE[gate.gtype], out, ins))
+        self.po_index = [index_of(n) for n in network.primary_outputs]
+        self.n_nets = len(self.net_names)
+        # Earliest op position touching each net (its driver, or for
+        # primary inputs the first reader) — lets delta resimulation
+        # skip straight to a fault's cone.
+        self.net_first_op = [len(self.ops)] * self.n_nets
+        first = self.net_first_op
+        for pos, (_, out, ins) in enumerate(self.ops):
+            for i in ins:
+                if first[i] > pos:
+                    first[i] = pos
+            if first[out] > pos:
+                first[out] = pos
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        packed: PackedVectors,
+        fault: FaultInjection | None = None,
+    ) -> PackedState:
+        """Simulate the whole batch; returns (ones, zeros) rail arrays."""
+        mask = packed.mask
+        lines = fault.lines if fault is not None else None
+        pins = fault.pins if fault is not None else None
+        tables = fault.tables if fault is not None else None
+        words = fault.words if fault is not None else None
+        forced = (lines or words) if fault is not None else None
+
+        ones = [0] * self.n_nets
+        zeros = [0] * self.n_nets
+        for idx in self.pi_index:
+            ones[idx] = packed.ones[idx]
+            zeros[idx] = packed.zeros[idx]
+        if forced:
+            for idx in self.pi_index:
+                o, z = self._force(idx, ones[idx], zeros[idx],
+                                   lines, words, mask)
+                ones[idx], zeros[idx] = o, z
+
+        for pos, (code, out, ins) in enumerate(self.ops):
+            pw = [(ones[i], zeros[i]) for i in ins]
+            if pins:
+                for k in range(len(ins)):
+                    value = pins.get((pos, k))
+                    if value is not None:
+                        pw[k] = (mask, 0) if value else (0, mask)
+            if tables and pos in tables:
+                o, z = eval_table_packed(tables[pos], pw, mask)
+            else:
+                o, z = _eval_gate(code, pw)
+            if forced:
+                o, z = self._force(out, o, z, lines, words, mask)
+            ones[out] = o
+            zeros[out] = z
+        return ones, zeros
+
+    @staticmethod
+    def _force(idx, o, z, lines, words, mask):
+        if lines:
+            value = lines.get(idx)
+            if value is not None:
+                return (mask, 0) if value else (0, mask)
+        if words:
+            forced = words.get(idx)
+            if forced is not None:
+                return forced
+        return o, z
+
+    # ------------------------------------------------------------------
+    def simulate_delta(
+        self,
+        packed: PackedVectors,
+        good: PackedState,
+        fault: FaultInjection,
+    ) -> dict[int, tuple[int, int]]:
+        """Event-driven single-fault resimulation against a good state.
+
+        Instead of re-evaluating the whole network, only gates whose
+        inputs changed (or that carry an override) are recomputed; a
+        fault effect that dies re-converges to the good value and stops
+        propagating.  Returns net index -> (ones, zeros) for exactly
+        the nets that differ from ``good``.
+        """
+        if packed.binary and not fault.tables and not fault.words:
+            mask = packed.mask
+            return {
+                idx: (word, mask ^ word)
+                for idx, word in self._delta_binary(
+                    packed, good, fault
+                ).items()
+            }
+        gones, gzeros = good
+        mask = packed.mask
+        pins = fault.pins
+        tables = fault.tables
+        forced: dict[int, tuple[int, int]] = dict(fault.words)
+        for idx, value in fault.lines.items():
+            forced[idx] = (mask, 0) if value else (0, mask)
+
+        delta: dict[int, tuple[int, int]] = {}
+        pi_set = set(self.pi_index)
+        for idx, fw in forced.items():
+            if idx in pi_set and fw != (gones[idx], gzeros[idx]):
+                delta[idx] = fw
+        affected = {pos for pos, _ in pins}
+        affected.update(tables)
+        if not delta and not affected and not forced:
+            return delta
+
+        # The fault's cone starts at the earliest seeded position and
+        # the effect is dead once no net differs past the last seed.
+        first = self.net_first_op
+        start = len(self.ops)
+        last_seed = -1
+        for pos in affected:
+            start = min(start, pos)
+            last_seed = max(last_seed, pos)
+        for idx in itertools.chain(forced, delta):
+            start = min(start, first[idx])
+            last_seed = max(last_seed, first[idx])
+
+        ops = self.ops
+        for pos in range(start, len(ops)):
+            code, out, ins = ops[pos]
+            touched = pos in affected
+            if not touched:
+                for i in ins:
+                    if i in delta:
+                        touched = True
+                        break
+            if touched:
+                pw = []
+                for k, i in enumerate(ins):
+                    value = pins.get((pos, k)) if pins else None
+                    if value is not None:
+                        pw.append((mask, 0) if value else (0, mask))
+                    else:
+                        d = delta.get(i)
+                        pw.append(d if d is not None
+                                  else (gones[i], gzeros[i]))
+                table = tables.get(pos) if tables else None
+                if table is not None:
+                    o, z = eval_table_packed(table, pw, mask)
+                else:
+                    o, z = _eval_gate(code, pw)
+            else:
+                o, z = gones[out], gzeros[out]
+            if forced:
+                fw = forced.get(out)
+                if fw is not None:
+                    o, z = fw
+            if o != gones[out] or z != gzeros[out]:
+                delta[out] = (o, z)
+            elif not delta and pos >= last_seed:
+                return delta
+        return delta
+
+    def detect_word(
+        self,
+        packed: PackedVectors,
+        good: PackedState,
+        fault: FaultInjection,
+    ) -> int:
+        """Campaign fast path: delta-resimulate ``fault`` and return
+        the strict-difference word over the primary outputs directly."""
+        if packed.binary and not fault.tables and not fault.words:
+            delta = self._delta_binary(packed, good, fault)
+            if not delta:
+                return 0
+            gones = good[0]
+            diff = 0
+            for idx in self.po_index:
+                word = delta.get(idx)
+                if word is not None:
+                    diff |= word ^ gones[idx]
+            return diff
+        return self.output_diff_delta(
+            good, self.simulate_delta(packed, good, fault)
+        )
+
+    def _delta_binary(
+        self,
+        packed: PackedVectors,
+        good: PackedState,
+        fault: FaultInjection,
+    ) -> dict[int, int]:
+        """Single-rail delta resimulation: X-free batch, line/pin fault.
+
+        The zeros rail is everywhere the complement of the ones rail,
+        so only ones words are propagated; returns changed nets' ones
+        words.
+        """
+        gones = good[0]
+        mask = packed.mask
+        pins = fault.pins
+        forced = {
+            idx: mask if value else 0
+            for idx, value in fault.lines.items()
+        }
+        delta: dict[int, int] = {}
+        pi_set = set(self.pi_index)
+        for idx, fw in forced.items():
+            if idx in pi_set and fw != gones[idx]:
+                delta[idx] = fw
+        affected = {pos for pos, _ in pins}
+        if delta or affected or forced:
+            first = self.net_first_op
+            ops = self.ops
+            start = len(ops)
+            last_seed = -1
+            for pos in affected:
+                start = min(start, pos)
+                last_seed = max(last_seed, pos)
+            for idx in itertools.chain(forced, delta):
+                start = min(start, first[idx])
+                last_seed = max(last_seed, first[idx])
+            get_delta = delta.get
+            get_forced = forced.get if forced else None
+            for pos in range(start, len(ops)):
+                code, out, ins = ops[pos]
+                touched = affected and pos in affected
+                if not touched:
+                    for i in ins:
+                        if i in delta:
+                            touched = True
+                            break
+                if touched:
+                    if pins:
+                        pv = []
+                        for k, i in enumerate(ins):
+                            value = pins.get((pos, k))
+                            if value is not None:
+                                pv.append(mask if value else 0)
+                            else:
+                                d = get_delta(i)
+                                pv.append(d if d is not None
+                                          else gones[i])
+                    else:
+                        pv = [
+                            d if (d := get_delta(i)) is not None
+                            else gones[i]
+                            for i in ins
+                        ]
+                    word = _eval_gate_binary(code, pv, mask)
+                else:
+                    word = gones[out]
+                if get_forced is not None:
+                    fw = get_forced(out)
+                    if fw is not None:
+                        word = fw
+                if word != gones[out]:
+                    delta[out] = word
+                elif not delta and pos >= last_seed:
+                    break
+        return delta
+
+    def output_diff_delta(
+        self, good: PackedState, delta: Mapping[int, tuple[int, int]]
+    ) -> int:
+        """Strict-difference word over POs for a delta resimulation."""
+        gones, gzeros = good
+        diff = 0
+        for idx in self.po_index:
+            d = delta.get(idx)
+            if d is not None:
+                diff |= (gones[idx] & d[1]) | (gzeros[idx] & d[0])
+        return diff
+
+    # ------------------------------------------------------------------
+    def output_diff(self, good: PackedState, bad: PackedState) -> int:
+        """Word of vectors on which the machines *definitely* differ.
+
+        Matches :func:`repro.logic.simulator.vectors_differ` in strict
+        mode: an X on either side is never counted as a difference.
+        """
+        go, gz = good
+        bo, bz = bad
+        diff = 0
+        for idx in self.po_index:
+            diff |= (go[idx] & bz[idx]) | (gz[idx] & bo[idx])
+        return diff
+
+    def gate_input_words(
+        self, state: PackedState, gate: str
+    ) -> list[tuple[int, int]]:
+        """Dual-rail words on one gate's input pins."""
+        ones, zeros = state
+        _, _, ins = self.ops[self.gate_op[gate]]
+        return [(ones[i], zeros[i]) for i in ins]
+
+    def gate_output_index(self, gate: str) -> int:
+        """Net index of one gate's output."""
+        return self.ops[self.gate_op[gate]][1]
+
+    def outputs_unpacked(
+        self, state: PackedState, k: int
+    ) -> tuple[int, ...]:
+        """Ternary primary-output values of vector ``k`` (debug aid)."""
+        ones, zeros = state
+        bit = 1 << k
+        return tuple(
+            1 if ones[i] & bit else 0 if zeros[i] & bit else X
+            for i in self.po_index
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledNetwork({self.network.name!r}: "
+            f"{self.n_nets} nets, {len(self.ops)} ops)"
+        )

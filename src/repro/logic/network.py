@@ -80,6 +80,7 @@ class Network:
         self.gates: dict[str, Gate] = {}
         self._driver: dict[str, str] = {}  # net -> gate name
         self._levelized: list[Gate] | None = None
+        self._compiled = None
 
     # ------------------------------------------------------------------
     def add_input(self, net: str) -> None:
@@ -89,12 +90,14 @@ class Network:
             raise ValueError(f"net {net!r} already driven by a gate")
         self.primary_inputs.append(net)
         self._levelized = None
+        self._compiled = None
 
     def add_output(self, net: str) -> None:
         if net in self.primary_outputs:
             raise ValueError(f"duplicate primary output {net!r}")
         self.primary_outputs.append(net)
         self._levelized = None
+        self._compiled = None
 
     def add_gate(
         self, name: str, gtype: str, inputs: list[str] | tuple[str, ...],
@@ -110,6 +113,7 @@ class Network:
         self.gates[name] = gate
         self._driver[output] = name
         self._levelized = None
+        self._compiled = None
         return gate
 
     # ------------------------------------------------------------------
@@ -164,6 +168,18 @@ class Network:
                 del remaining[g.name]
         self._levelized = order
         return order
+
+    def compiled(self):
+        """The flattened bit-parallel form (cached like levelization).
+
+        Returns a :class:`repro.logic.compiled.CompiledNetwork`; the
+        cache is invalidated by any structural edit.
+        """
+        if self._compiled is None:
+            from repro.logic.compiled import CompiledNetwork
+
+            self._compiled = CompiledNetwork(self)
+        return self._compiled
 
     def depth(self) -> int:
         """Logic depth (levels of gates on the longest path)."""

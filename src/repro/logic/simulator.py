@@ -1,10 +1,11 @@
 """Gate-level logic simulation (ternary), with pluggable gate overrides.
 
-The fault simulator injects faults either as *line* overrides (stuck-at
-values on nets / gate pins) or as *gate-function* overrides (a gate whose
-local behaviour changed — the gate-level image of the paper's polarity
-faults and stuck-opens).  Overrides are callables so the fault machinery
-in :mod:`repro.atpg` composes them freely.
+This is the *serial* reference path: one vector per call, dict-valued
+nets, overrides as callables.  The compiled bit-parallel engine in
+:mod:`repro.logic.compiled` implements the same semantics over whole
+vector batches and is validated against this module; the shared
+fault-injection override contract (line vs. pin vs. gate overrides) is
+documented there.
 """
 
 from __future__ import annotations
