@@ -1,0 +1,190 @@
+"""Legacy vs compiled PODEM: end-to-end ATPG wall-clock.
+
+Runs the full stuck-at ATPG campaign (PODEM generation + bit-parallel
+fault dropping) on rca8 / rca16 / alu4 through both engines, asserts
+
+* bit-identical results — same test vectors, same detection indices,
+  same untestable/aborted classification — and
+* the >=5x wall-clock bar on rca16 and alu4 (the acceptance circuits),
+
+then writes a machine-readable perf record to ``BENCH_atpg.json`` at
+the repository root (the perf-trajectory seed; CI uploads it as an
+artifact).
+
+Dual-mode: run under pytest (``pytest benchmarks/bench_atpg_speed.py``)
+for the full bars, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_atpg_speed.py [--smoke]
+
+``--smoke`` is the CI perf-regression gate: one timing round and a
+relaxed 2x bar so shared-runner jitter cannot fail a healthy build.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import save_report
+from repro.analysis.report import ascii_table
+from repro.atpg.faults import stuck_at_faults
+from repro.atpg.podem import run_stuck_at_atpg
+from repro.circuits import build_benchmark
+
+CIRCUITS = ("rca8", "rca16", "alu4")
+#: Acceptance circuits and their required end-to-end speedup.
+SPEEDUP_BARS = {"rca16": 5.0, "alu4": 5.0}
+SMOKE_BAR = 2.0
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_atpg.json"
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_campaigns(circuits=CIRCUITS, repeats=3):
+    """Time both engines on full campaigns; returns per-circuit records.
+
+    Raises AssertionError if any result field differs between engines —
+    the speed comparison is only meaningful at identical coverage and
+    identical untestable classification.
+    """
+    records = []
+    for name in circuits:
+        network = build_benchmark(name)
+        faults = stuck_at_faults(network)
+        t_legacy, legacy = _best_of(
+            lambda: run_stuck_at_atpg(network, faults, engine="legacy"),
+            repeats,
+        )
+        t_compiled, compiled = _best_of(
+            lambda: run_stuck_at_atpg(network, faults, engine="compiled"),
+            repeats,
+        )
+        assert legacy.tests == compiled.tests, name
+        assert legacy.detected == compiled.detected, name
+        assert legacy.untestable == compiled.untestable, name
+        assert legacy.aborted == compiled.aborted, name
+        records.append({
+            "circuit": name,
+            "gates": len(network.gates),
+            "faults": len(faults),
+            "tests": len(compiled.tests),
+            "coverage": compiled.coverage,
+            "untestable": len(compiled.untestable),
+            "aborted": len(compiled.aborted),
+            "legacy_ms": t_legacy * 1e3,
+            "compiled_ms": t_compiled * 1e3,
+            "speedup": t_legacy / t_compiled,
+        })
+    return records
+
+
+def format_report(records):
+    rows = [
+        (
+            r["circuit"], r["faults"], r["tests"],
+            f"{r['coverage'] * 100:.1f}%", r["untestable"],
+            f"{r['legacy_ms']:.1f}", f"{r['compiled_ms']:.1f}",
+            f"x{r['speedup']:.1f}",
+        )
+        for r in records
+    ]
+    return "\n".join([
+        "End-to-end stuck-at ATPG: legacy dict-based PODEM vs compiled "
+        "D-calculus engine",
+        ascii_table(
+            ("circuit", "faults", "tests", "coverage", "untestable",
+             "legacy ms", "compiled ms", "speedup"),
+            rows,
+        ),
+        "",
+        "Identical vectors, detection maps and untestable classification",
+        "on every circuit; the compiled engine encodes good/faulty",
+        "machines in the dual-rail words and re-implies only each",
+        "decision's fanout cone.",
+    ])
+
+
+def write_record(records, bars, path=RECORD_PATH):
+    record = {
+        "benchmark": "atpg_speed",
+        "schema_version": 1,
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "python": sys.version.split()[0],
+        "engine": "compiled D-calculus PODEM vs legacy dict-based PODEM",
+        "workload": "run_stuck_at_atpg: PODEM + bit-parallel fault "
+                    "dropping over the full collapsed stuck-at list",
+        "speedup_bars": bars,
+        "records": records,
+    }
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+def check_bars(records, bars):
+    failures = []
+    for r in records:
+        bar = bars.get(r["circuit"])
+        if bar is not None and r["speedup"] < bar:
+            failures.append(
+                f"{r['circuit']}: x{r['speedup']:.1f} below the "
+                f"{bar:.0f}x bar"
+            )
+    return failures
+
+
+def test_atpg_speed(once):
+    records = run_campaigns()
+    report = format_report(records)
+    print("\n" + report)
+    save_report("atpg_speed", report)
+    write_record(records, SPEEDUP_BARS)
+
+    def run_compiled_again():
+        network = build_benchmark("rca16")
+        return run_stuck_at_atpg(
+            network, stuck_at_faults(network), engine="compiled"
+        )
+
+    once(run_compiled_again)
+    failures = check_bars(records, SPEEDUP_BARS)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: single timing round, relaxed "
+             f"{SMOKE_BAR:.0f}x bar",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=RECORD_PATH,
+        help="perf-record path (default: repo-root BENCH_atpg.json)",
+    )
+    args = parser.parse_args(argv)
+    bars = (
+        {name: SMOKE_BAR for name in SPEEDUP_BARS}
+        if args.smoke else dict(SPEEDUP_BARS)
+    )
+    records = run_campaigns(repeats=1 if args.smoke else 3)
+    print(format_report(records))
+    path = write_record(records, bars, args.out)
+    print(f"\nperf record -> {path}")
+    failures = check_bars(records, bars)
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,31 +49,39 @@ class CircuitCoverage:
 
 
 def classic_stuck_at_testset(
-    network: Network, max_backtracks: int = 500
+    network: Network, max_backtracks: int = 500, engine: str = "compiled"
 ) -> list[dict[str, int]]:
     """PODEM with fault dropping + greedy compaction: the classic
     production test set."""
     faults = stuck_at_faults(network)
-    atpg = run_stuck_at_atpg(network, faults, max_backtracks)
+    atpg = run_stuck_at_atpg(network, faults, max_backtracks, engine=engine)
     compacted = compact_tests(network, atpg.tests, faults)
     return compacted.vectors
 
 
-def coverage_for(network: Network) -> CircuitCoverage:
-    """Full coverage analysis of one circuit."""
+def coverage_for(
+    network: Network, engine: str = "compiled"
+) -> CircuitCoverage:
+    """Full coverage analysis of one circuit.
+
+    ``engine`` selects the PODEM implementation for every generation
+    step (compiled default / legacy oracle); the compiled network and
+    its search structures are shared across all campaigns through the
+    :func:`repro.logic.compiled.compile_network` memo.
+    """
     sa_faults = stuck_at_faults(network)
     pol_faults = polarity_faults(network)
     sop_faults = stuck_open_faults(network)
 
-    test_set = classic_stuck_at_testset(network)
+    test_set = classic_stuck_at_testset(network, engine=engine)
     sa_result = parallel_stuck_at_simulation(network, sa_faults, test_set)
 
     if pol_faults:
         pol_by_sa = parallel_polarity_simulation(
             network, pol_faults, test_set
         )
-        pol_atpg = run_polarity_atpg(network, pol_faults)
-        iddq = select_iddq_vectors(network, pol_faults)
+        pol_atpg = run_polarity_atpg(network, pol_faults, engine=engine)
+        iddq = select_iddq_vectors(network, pol_faults, engine=engine)
         pol_by_sa_cov = pol_by_sa.coverage
         pol_atpg_cov = pol_atpg.coverage
         iddq_vectors = len(iddq.vectors)

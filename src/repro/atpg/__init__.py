@@ -15,6 +15,14 @@ Fault simulation runs on the compiled engine of
 override contract (line vs. pin vs. gate overrides) is documented in
 :mod:`repro.logic.compiled`.
 
+Test generation likewise has two engines behind one API: every
+generator (``generate_test``, ``justify_and_propagate``,
+``run_stuck_at_atpg``, ``run_polarity_atpg``, ``run_sof_atpg``,
+``select_iddq_vectors``) takes ``engine="compiled"`` (the fast
+D-calculus search of :mod:`repro.atpg.podem_compiled`, default) or
+``engine="legacy"`` (the dict-based oracle in
+:mod:`repro.atpg.podem`); both produce bit-identical results.
+
 Usage — generate, fault-simulate and compact a stuck-at test set::
 
     from repro.atpg import (

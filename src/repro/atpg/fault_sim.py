@@ -35,6 +35,7 @@ from repro.gates.library import ALL_CELLS
 from repro.logic.compiled import (
     CompiledNetwork,
     FaultInjection,
+    compile_network,
     eval_table_packed,
     minterm_word,
     pack_vectors,
@@ -212,7 +213,7 @@ def stuck_at_detection_words(
 ) -> list[int]:
     """Full detection matrix: per fault, a word whose bit ``k`` is set
     iff ``vectors[k]`` detects the fault (no dropping)."""
-    cnet = network.compiled()
+    cnet = compile_network(network)
     packed = pack_vectors(cnet, vectors)
     good = cnet.simulate(packed)
     return [
@@ -231,7 +232,7 @@ def parallel_stuck_at_simulation(
     Processes :data:`_CHUNK_BITS` vectors per pass; a fault detected in
     an earlier chunk is never re-simulated.
     """
-    cnet = network.compiled()
+    cnet = compile_network(network)
     names = [f.name for f in faults]
     injections = [stuck_at_injection(cnet, f) for f in faults]
     detected: dict[str, int] = {}
@@ -270,7 +271,7 @@ def polarity_detection_words(
     covers a fault when it drives the gate into a conflict-activating
     local combination.
     """
-    cnet = network.compiled()
+    cnet = compile_network(network)
     packed = pack_vectors(cnet, vectors)
     good = cnet.simulate(packed)
     words = []
@@ -297,7 +298,7 @@ def parallel_polarity_simulation(
     iddq: bool = False,
 ) -> FaultSimResult:
     """Batched polarity-fault campaign (voltage or IDDQ observables)."""
-    cnet = network.compiled()
+    cnet = compile_network(network)
     detected: dict[str, int] = {}
     undetected = {f.name for f in faults}
     for base in range(0, len(vectors), _CHUNK_BITS):
@@ -393,7 +394,7 @@ def stuck_open_detection_words(
     pairs: Sequence[tuple[TestVector, TestVector]],
 ) -> list[int]:
     """Per-fault detection words over (init, test) two-pattern pairs."""
-    cnet = network.compiled()
+    cnet = compile_network(network)
     init_packed = pack_vectors(cnet, [p[0] for p in pairs])
     test_packed = pack_vectors(cnet, [p[1] for p in pairs])
     good_init = cnet.simulate(init_packed)
@@ -421,7 +422,7 @@ def parallel_stuck_open_simulation(
     pairs: Sequence[tuple[TestVector, TestVector]],
 ) -> FaultSimResult:
     """Batched two-pattern stuck-open campaign with fault dropping."""
-    cnet = network.compiled()
+    cnet = compile_network(network)
     detected: dict[str, int] = {}
     undetected = {f.name for f in faults}
     for base in range(0, len(pairs), _CHUNK_BITS):

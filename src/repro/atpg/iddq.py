@@ -47,6 +47,7 @@ def select_iddq_vectors(
     network: Network,
     faults: list[PolarityFault] | None = None,
     max_backtracks: int = 300,
+    engine: str = "compiled",
 ) -> IddqSelection:
     """Generate candidate vectors per fault, then greedily compact.
 
@@ -62,7 +63,8 @@ def select_iddq_vectors(
     uncovered_names: list[str] = []
     for fault in faults:
         test = generate_polarity_test(
-            network, fault, allow_iddq=True, max_backtracks=max_backtracks
+            network, fault, allow_iddq=True,
+            max_backtracks=max_backtracks, engine=engine,
         )
         if test is None:
             uncovered_names.append(fault.name)

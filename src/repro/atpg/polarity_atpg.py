@@ -56,6 +56,7 @@ def generate_polarity_test(
     fault: PolarityFault,
     allow_iddq: bool = True,
     max_backtracks: int = 500,
+    engine: str = "compiled",
 ) -> PolarityTest | None:
     """Generate a test for one polarity fault (voltage first, then IDDQ)."""
     gate = network.gates[fault.gate]
@@ -70,6 +71,7 @@ def generate_polarity_test(
             gate_fault=fault,
             propagate=True,
             max_backtracks=max_backtracks,
+            engine=engine,
         )
         if result.success:
             return PolarityTest(
@@ -88,6 +90,7 @@ def generate_polarity_test(
             condition,
             propagate=False,
             max_backtracks=max_backtracks,
+            engine=engine,
         )
         if result.success:
             return PolarityTest(
@@ -104,6 +107,7 @@ def run_polarity_atpg(
     faults: list[PolarityFault] | None = None,
     allow_iddq: bool = True,
     max_backtracks: int = 500,
+    engine: str = "compiled",
 ) -> PolarityAtpgResult:
     """Generate tests for all (or the given) polarity faults."""
     from repro.atpg.faults import polarity_faults
@@ -115,7 +119,7 @@ def run_polarity_atpg(
     for fault in faults:
         test = generate_polarity_test(
             network, fault, allow_iddq=allow_iddq,
-            max_backtracks=max_backtracks,
+            max_backtracks=max_backtracks, engine=engine,
         )
         if test is not None:
             tests.append(test)

@@ -65,6 +65,7 @@ def generate_stuck_open_test(
     network: Network,
     fault: StuckOpenFault,
     max_backtracks: int = 500,
+    engine: str = "compiled",
 ) -> StuckOpenTest | None:
     """Generate and *verify* a two-pattern test for one SOF."""
     cell = ALL_CELLS[fault.gtype]
@@ -92,6 +93,7 @@ def generate_stuck_open_test(
             gate_fault_table=table,
             propagate=True,
             max_backtracks=max_backtracks,
+            engine=engine,
         )
         if not result.success:
             continue
@@ -107,6 +109,7 @@ def generate_stuck_open_test(
                 init_condition,
                 propagate=False,
                 max_backtracks=max_backtracks,
+                engine=engine,
             )
             if not init_result.success:
                 continue
@@ -137,6 +140,7 @@ def run_sof_atpg(
     faults: list[StuckOpenFault] | None = None,
     max_backtracks: int = 500,
     drop_detected: bool = False,
+    engine: str = "compiled",
 ) -> SofAtpgResult:
     """Two-pattern ATPG over all (or the given) stuck-open faults.
 
@@ -144,6 +148,8 @@ def run_sof_atpg(
     fault-simulated (compiled engine) against the still-untargeted
     faults; collaterally detected faults are dropped instead of getting
     a dedicated test — far fewer PODEM searches on large circuits.
+    ``engine`` selects the PODEM implementation (compiled default /
+    legacy oracle) for both patterns of every two-pattern search.
     """
     from repro.atpg.fault_sim import stuck_open_detection_words
     from repro.atpg.faults import stuck_open_faults
@@ -161,7 +167,7 @@ def run_sof_atpg(
             masked.append(fault)
             continue
         test = generate_stuck_open_test(
-            network, fault, max_backtracks=max_backtracks
+            network, fault, max_backtracks=max_backtracks, engine=engine
         )
         if test is None:
             untestable.append(fault)

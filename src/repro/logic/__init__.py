@@ -30,8 +30,12 @@ from repro.logic.bench_format import parse_bench, write_bench
 from repro.logic.compiled import (
     CompiledNetwork,
     FaultInjection,
+    NetworkStructures,
     PackedVectors,
+    compile_network,
+    invalidate_network,
     pack_vectors,
+    structural_fingerprint,
 )
 from repro.logic.network import (
     DP_GATE_TYPES,
@@ -86,8 +90,12 @@ __all__ = [
     "GATE_ARITY",
     "Gate",
     "Network",
+    "NetworkStructures",
     "PackedVectors",
+    "compile_network",
+    "invalidate_network",
     "pack_vectors",
+    "structural_fingerprint",
     "ONE",
     "SP_GATE_TYPES",
     "SwitchLevelResult",

@@ -44,13 +44,29 @@ mechanisms:
   switch-level engine via
   :meth:`repro.atpg.faults.PolarityFault.faulty_table`.
 
+**Compilation memo.**  :func:`compile_network` maps a
+:class:`~repro.logic.network.Network` to its :class:`CompiledNetwork`
+through a process-wide memo keyed on a cheap structural fingerprint
+(PIs, POs and the gate set), so that repeated campaigns which rebuild
+structurally identical networks — ``experiment_table3``, compaction,
+SOF ATPG, the benchmark drivers — stop recompiling and relevelizing.
+``Network.compiled()`` routes through the memo; structural edits drop
+the per-instance cache and :func:`invalidate_network` evicts the memo
+entry explicitly for mutated networks.
+
+The flattened form also carries :meth:`CompiledNetwork.structures`:
+precomputed integer structures (net drivers, levelized fanout cones,
+primary-output reachability masks, SCOAP-style controllability
+estimates) shared by the fault simulator and the compiled PODEM engine
+(:mod:`repro.atpg.podem_compiled`).
+
 Usage::
 
     from repro.circuits import ripple_carry_adder
     from repro.logic.compiled import FaultInjection, pack_vectors
 
     network = ripple_carry_adder(8)
-    cnet = network.compiled()                  # built once, cached
+    cnet = network.compiled()                  # built once, memoized
     packed = pack_vectors(cnet, vectors)       # all vectors, one batch
     good = cnet.simulate(packed)
     sa0 = FaultInjection(lines={cnet.net_index["s3"]: 0})
@@ -62,6 +78,7 @@ Usage::
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import itertools
 from typing import Mapping, Sequence, TYPE_CHECKING
 
@@ -101,9 +118,56 @@ _OPCODE = {
     "MIN3": OP_MIN,
 }
 
+#: Opcodes whose output inverts the justification target during PODEM
+#: backtrace (mirror of :data:`repro.logic.eval.INVERTING`).
+INVERTING_OPS = frozenset({OP_INV, OP_NAND, OP_NOR, OP_XNOR, OP_MIN})
+
+#: Opcode -> non-controlling input value (the PODEM D-frontier
+#: objective); opcodes without a controlling value justify 0 (mirror of
+#: the legacy :data:`repro.logic.eval.CONTROLLING` handling).
+_OBJECTIVE_VALUE = {OP_AND: 1, OP_NAND: 1, OP_OR: 0, OP_NOR: 0}
+
 #: Dual-rail net state for one batch: (ones_rails, zeros_rails), each a
 #: list indexed by net index.
 PackedState = tuple[list[int], list[int]]
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkStructures:
+    """Precomputed integer structures for search-style algorithms.
+
+    Built once per :class:`CompiledNetwork` (so once per structural
+    fingerprint, via the :func:`compile_network` memo) and shared by
+    every PODEM search and campaign over the network.
+
+    Attributes:
+        driver_op: Net index -> position of the driving op, -1 for
+            primary inputs / undriven nets.
+        is_pi: Net index -> 1 when the net is a primary input.
+        fanout_ops: Net index -> op positions consuming the net, in
+            topological (levelized) order — the net's fanout cone
+            frontier for event-driven implication.
+        inverting: Op position -> 1 when the op inverts (backtrace
+            flips the justification target through it).
+        objective_value: Op position -> the value PODEM justifies on an
+            X input to advance the D-frontier through this op
+            (non-controlling value, or 0 for XOR/MAJ-class ops).
+        po_reachable: Net index -> 1 when some path leads to a primary
+            output (static output-reachability mask; nets with 0 can
+            never propagate a fault effect).
+        cc0 / cc1: SCOAP-style controllability estimates per net: the
+            minimum number of PI assignments (plus gate hops) needed to
+            justify a 0 / 1.  Primary inputs cost 1.
+    """
+
+    driver_op: tuple[int, ...]
+    is_pi: bytes
+    fanout_ops: tuple[tuple[int, ...], ...]
+    inverting: bytes
+    objective_value: bytes
+    po_reachable: bytes
+    cc0: tuple[int, ...]
+    cc1: tuple[int, ...]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -324,11 +388,18 @@ class CompiledNetwork:
         )
         self.ops: list[tuple[int, int, tuple[int, ...]]] = []
         self.gate_op: dict[str, int] = {}
+        op_gtypes: list[str] = []
         for gate in order:
             ins = tuple(index_of(n) for n in gate.inputs)
             out = index_of(gate.output)
             self.gate_op[gate.name] = len(self.ops)
             self.ops.append((_OPCODE[gate.gtype], out, ins))
+            op_gtypes.append(gate.gtype)
+        # Snapshot of the source gate types, aligned with ops: derived
+        # structures must never re-read the live network — a memoized
+        # CompiledNetwork can outlive (or be shared across) instances
+        # whose gate sets have since been edited.
+        self.op_gtypes = tuple(op_gtypes)
         self.po_index = [index_of(n) for n in network.primary_outputs]
         self.n_nets = len(self.net_names)
         # Earliest op position touching each net (its driver, or for
@@ -342,6 +413,72 @@ class CompiledNetwork:
                     first[i] = pos
             if first[out] > pos:
                 first[out] = pos
+        self._structures: NetworkStructures | None = None
+        # Reusable queued-op flags for the hot delta path; every flag
+        # is cleared again by the time a delta walk returns.
+        self._delta_scratch = bytearray(len(self.ops))
+
+    # ------------------------------------------------------------------
+    def structures(self) -> NetworkStructures:
+        """Precomputed search structures (built lazily, cached)."""
+        if self._structures is None:
+            self._structures = self._build_structures()
+        return self._structures
+
+    def _build_structures(self) -> NetworkStructures:
+        from repro.logic.eval import eval_binary
+
+        n = self.n_nets
+        driver_op = [-1] * n
+        fanout: list[list[int]] = [[] for _ in range(n)]
+        inverting = bytearray(len(self.ops))
+        objective = bytearray(len(self.ops))
+        for pos, (code, out, ins) in enumerate(self.ops):
+            driver_op[out] = pos
+            for i in ins:
+                fanout[i].append(pos)
+            inverting[pos] = 1 if code in INVERTING_OPS else 0
+            objective[pos] = _OBJECTIVE_VALUE.get(code, 0)
+        is_pi = bytearray(n)
+        for idx in self.pi_index:
+            is_pi[idx] = 1
+        # Static output reachability: reverse sweep over the ops.
+        po_reachable = bytearray(n)
+        for idx in self.po_index:
+            po_reachable[idx] = 1
+        for _, out, ins in reversed(self.ops):
+            if po_reachable[out]:
+                for i in ins:
+                    po_reachable[i] = 1
+        # SCOAP-style controllability: cheapest binary local assignment
+        # producing each output value, via the cell truth function.
+        big = 1 << 30
+        cc0 = [big] * n
+        cc1 = [big] * n
+        for idx in self.pi_index:
+            cc0[idx] = cc1[idx] = 1
+        for (_, out, ins), gtype in zip(self.ops, self.op_gtypes):
+            best = [big, big]
+            for bits in itertools.product((0, 1), repeat=len(ins)):
+                cost = sum(
+                    cc1[i] if bit else cc0[i]
+                    for i, bit in zip(ins, bits)
+                )
+                value = eval_binary(gtype, bits)
+                if cost < best[value]:
+                    best[value] = cost
+            cc0[out] = min(big, best[0] + 1)
+            cc1[out] = min(big, best[1] + 1)
+        return NetworkStructures(
+            driver_op=tuple(driver_op),
+            is_pi=bytes(is_pi),
+            fanout_ops=tuple(tuple(f) for f in fanout),
+            inverting=bytes(inverting),
+            objective_value=bytes(objective),
+            po_reachable=bytes(po_reachable),
+            cc0=tuple(cc0),
+            cc1=tuple(cc1),
+        )
 
     # ------------------------------------------------------------------
     def simulate(
@@ -406,11 +543,15 @@ class CompiledNetwork:
     ) -> dict[int, tuple[int, int]]:
         """Event-driven single-fault resimulation against a good state.
 
-        Instead of re-evaluating the whole network, only gates whose
-        inputs changed (or that carry an override) are recomputed; a
-        fault effect that dies re-converges to the good value and stops
-        propagating.  Returns net index -> (ones, zeros) for exactly
-        the nets that differ from ``good``.
+        Only the fault's actually-changing cone is recomputed: seed
+        positions (override carriers and the drivers/consumers of
+        forced nets) go onto a min-heap of op positions, consumers of
+        changed outputs are pushed as changes surface, and a fault
+        effect that dies re-converges to the good value and stops
+        propagating.  Because ops are topologically ordered and fanout
+        only points forward, every op is evaluated at most once with
+        final input values.  Returns net index -> (ones, zeros) for
+        exactly the nets that differ from ``good``.
         """
         if packed.binary and not fault.tables and not fault.words:
             mask = packed.mask
@@ -428,62 +569,63 @@ class CompiledNetwork:
         for idx, value in fault.lines.items():
             forced[idx] = (mask, 0) if value else (0, mask)
 
-        delta: dict[int, tuple[int, int]] = {}
-        pi_set = set(self.pi_index)
-        for idx, fw in forced.items():
-            if idx in pi_set and fw != (gones[idx], gzeros[idx]):
-                delta[idx] = fw
-        affected = {pos for pos, _ in pins}
-        affected.update(tables)
-        if not delta and not affected and not forced:
-            return delta
-
-        # The fault's cone starts at the earliest seeded position and
-        # the effect is dead once no net differs past the last seed.
-        first = self.net_first_op
-        start = len(self.ops)
-        last_seed = -1
-        for pos in affected:
-            start = min(start, pos)
-            last_seed = max(last_seed, pos)
-        for idx in itertools.chain(forced, delta):
-            start = min(start, first[idx])
-            last_seed = max(last_seed, first[idx])
-
+        structs = self.structures()
+        fanout = structs.fanout_ops
+        is_pi = structs.is_pi
+        driver = structs.driver_op
         ops = self.ops
-        for pos in range(start, len(ops)):
-            code, out, ins = ops[pos]
-            touched = pos in affected
-            if not touched:
-                for i in ins:
-                    if i in delta:
-                        touched = True
-                        break
-            if touched:
-                pw = []
-                for k, i in enumerate(ins):
-                    value = pins.get((pos, k)) if pins else None
-                    if value is not None:
-                        pw.append((mask, 0) if value else (0, mask))
-                    else:
-                        d = delta.get(i)
-                        pw.append(d if d is not None
-                                  else (gones[i], gzeros[i]))
-                table = tables.get(pos) if tables else None
-                if table is not None:
-                    o, z = eval_table_packed(table, pw, mask)
-                else:
-                    o, z = _eval_gate(code, pw)
+        delta: dict[int, tuple[int, int]] = {}
+        queued = self._delta_scratch
+        heap: list[int] = []
+        for idx, fw in forced.items():
+            if is_pi[idx]:
+                if fw != (gones[idx], gzeros[idx]):
+                    delta[idx] = fw
+                    for pos in fanout[idx]:
+                        if not queued[pos]:
+                            queued[pos] = 1
+                            heap.append(pos)
             else:
-                o, z = gones[out], gzeros[out]
-            if forced:
-                fw = forced.get(out)
-                if fw is not None:
-                    o, z = fw
+                pos = driver[idx]
+                if pos >= 0 and not queued[pos]:
+                    queued[pos] = 1
+                    heap.append(pos)
+        for pos, _pin in pins:
+            if not queued[pos]:
+                queued[pos] = 1
+                heap.append(pos)
+        for pos in tables:
+            if not queued[pos]:
+                queued[pos] = 1
+                heap.append(pos)
+        heapq.heapify(heap)
+        while heap:
+            pos = heapq.heappop(heap)
+            queued[pos] = 0
+            code, out, ins = ops[pos]
+            pw = []
+            for k, i in enumerate(ins):
+                value = pins.get((pos, k)) if pins else None
+                if value is not None:
+                    pw.append((mask, 0) if value else (0, mask))
+                else:
+                    d = delta.get(i)
+                    pw.append(d if d is not None
+                              else (gones[i], gzeros[i]))
+            table = tables.get(pos) if tables else None
+            if table is not None:
+                o, z = eval_table_packed(table, pw, mask)
+            else:
+                o, z = _eval_gate(code, pw)
+            fw = forced.get(out)
+            if fw is not None:
+                o, z = fw
             if o != gones[out] or z != gzeros[out]:
                 delta[out] = (o, z)
-            elif not delta and pos >= last_seed:
-                return delta
+                for nxt in fanout[out]:
+                    if not queued[nxt]:
+                        queued[nxt] = 1
+                        heapq.heappush(heap, nxt)
         return delta
 
     def detect_word(
@@ -518,71 +660,139 @@ class CompiledNetwork:
         """Single-rail delta resimulation: X-free batch, line/pin fault.
 
         The zeros rail is everywhere the complement of the ones rail,
-        so only ones words are propagated; returns changed nets' ones
-        words.
+        so only ones words are propagated.  Same heap-driven fanout
+        walk as :meth:`simulate_delta` — only ops inside the changing
+        cone are evaluated — returning changed nets' ones words.
         """
         gones = good[0]
         mask = packed.mask
         pins = fault.pins
+        lines = fault.lines
+        # Fast paths for the campaign-dominant single-fault shapes: a
+        # lone stem (line) or branch (pin) fault.  A stem force applies
+        # at the net's every write, so the forced word *is* the net's
+        # value — no driver re-evaluation needed — and an unexcited
+        # fault (forced word equals the good word) changes nothing.
+        if not pins and len(lines) == 1:
+            idx, value = next(iter(lines.items()))
+            fw = mask if value else 0
+            if fw == gones[idx]:
+                return {}
+            return self._walk_binary({idx: fw}, gones, mask)
+        if not lines and len(pins) == 1:
+            (pos, k), value = next(iter(pins.items()))
+            code, out, ins = self.ops[pos]
+            fw = mask if value else 0
+            if fw == gones[ins[k]]:
+                return {}
+            pv = [gones[i] for i in ins]
+            pv[k] = fw
+            word = _eval_gate_binary(code, pv, mask)
+            if word == gones[out]:
+                return {}
+            return self._walk_binary({out: word}, gones, mask)
+        structs = self.structures()
+        fanout = structs.fanout_ops
+        is_pi = structs.is_pi
+        driver = structs.driver_op
+        ops = self.ops
+        delta: dict[int, int] = {}
+        queued = self._delta_scratch
+        heap: list[int] = []
         forced = {
             idx: mask if value else 0
-            for idx, value in fault.lines.items()
+            for idx, value in lines.items()
         }
-        delta: dict[int, int] = {}
-        pi_set = set(self.pi_index)
         for idx, fw in forced.items():
-            if idx in pi_set and fw != gones[idx]:
-                delta[idx] = fw
-        affected = {pos for pos, _ in pins}
-        if delta or affected or forced:
-            first = self.net_first_op
-            ops = self.ops
-            start = len(ops)
-            last_seed = -1
-            for pos in affected:
-                start = min(start, pos)
-                last_seed = max(last_seed, pos)
-            for idx in itertools.chain(forced, delta):
-                start = min(start, first[idx])
-                last_seed = max(last_seed, first[idx])
-            get_delta = delta.get
-            get_forced = forced.get if forced else None
-            for pos in range(start, len(ops)):
-                code, out, ins = ops[pos]
-                touched = affected and pos in affected
-                if not touched:
-                    for i in ins:
-                        if i in delta:
-                            touched = True
-                            break
-                if touched:
-                    if pins:
-                        pv = []
-                        for k, i in enumerate(ins):
-                            value = pins.get((pos, k))
-                            if value is not None:
-                                pv.append(mask if value else 0)
-                            else:
-                                d = get_delta(i)
-                                pv.append(d if d is not None
-                                          else gones[i])
+            if is_pi[idx]:
+                if fw != gones[idx]:
+                    delta[idx] = fw
+                    for pos in fanout[idx]:
+                        if not queued[pos]:
+                            queued[pos] = 1
+                            heap.append(pos)
+            else:
+                pos = driver[idx]
+                if pos >= 0 and not queued[pos]:
+                    queued[pos] = 1
+                    heap.append(pos)
+        for pos, _pin in pins:
+            if not queued[pos]:
+                queued[pos] = 1
+                heap.append(pos)
+        heapq.heapify(heap)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        get_delta = delta.get
+        get_forced = forced.get
+        while heap:
+            pos = heappop(heap)
+            queued[pos] = 0
+            code, out, ins = ops[pos]
+            if pins:
+                pv = []
+                for k, i in enumerate(ins):
+                    value = pins.get((pos, k))
+                    if value is not None:
+                        pv.append(mask if value else 0)
                     else:
-                        pv = [
-                            d if (d := get_delta(i)) is not None
-                            else gones[i]
-                            for i in ins
-                        ]
-                    word = _eval_gate_binary(code, pv, mask)
-                else:
-                    word = gones[out]
-                if get_forced is not None:
-                    fw = get_forced(out)
-                    if fw is not None:
-                        word = fw
-                if word != gones[out]:
-                    delta[out] = word
-                elif not delta and pos >= last_seed:
-                    break
+                        d = get_delta(i)
+                        pv.append(d if d is not None else gones[i])
+            else:
+                pv = [
+                    d if (d := get_delta(i)) is not None
+                    else gones[i]
+                    for i in ins
+                ]
+            word = _eval_gate_binary(code, pv, mask)
+            fw = get_forced(out)
+            if fw is not None:
+                word = fw
+            if word != gones[out]:
+                delta[out] = word
+                for nxt in fanout[out]:
+                    if not queued[nxt]:
+                        queued[nxt] = 1
+                        heappush(heap, nxt)
+        return delta
+
+    def _walk_binary(
+        self, delta: dict[int, int], gones: list[int], mask: int
+    ) -> dict[int, int]:
+        """Propagate seeded single-rail deltas through the fanout cones.
+
+        ``delta`` maps already-changed nets to their faulty ones words;
+        no per-op overrides apply (the single-fault fast paths fold the
+        override into the seed), so the walk is pure gate evaluation.
+        """
+        fanout = self.structures().fanout_ops
+        ops = self.ops
+        queued = self._delta_scratch
+        heap: list[int] = []
+        for idx in delta:
+            for pos in fanout[idx]:
+                if not queued[pos]:
+                    queued[pos] = 1
+                    heap.append(pos)
+        heapq.heapify(heap)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        get_delta = delta.get
+        while heap:
+            pos = heappop(heap)
+            queued[pos] = 0
+            code, out, ins = ops[pos]
+            pv = [
+                d if (d := get_delta(i)) is not None else gones[i]
+                for i in ins
+            ]
+            word = _eval_gate_binary(code, pv, mask)
+            if word != gones[out]:
+                delta[out] = word
+                for nxt in fanout[out]:
+                    if not queued[nxt]:
+                        queued[nxt] = 1
+                        heappush(heap, nxt)
         return delta
 
     def output_diff_delta(
@@ -639,3 +849,68 @@ class CompiledNetwork:
             f"CompiledNetwork({self.network.name!r}: "
             f"{self.n_nets} nets, {len(self.ops)} ops)"
         )
+
+
+# ---------------------------------------------------------------------------
+# Per-structure compilation memo
+# ---------------------------------------------------------------------------
+
+#: Structural fingerprint -> CompiledNetwork.  Bounded FIFO so runaway
+#: generators (random-circuit sweeps) cannot grow it without limit.
+_COMPILE_MEMO: dict[tuple, CompiledNetwork] = {}
+_COMPILE_MEMO_MAX = 64
+
+
+def structural_fingerprint(network: Network) -> tuple:
+    """Cheap structural identity of a network.
+
+    Two networks with equal fingerprints levelize and compile to the
+    same flattened form: the fingerprint covers the name, the PI/PO
+    lists (ordered — order defines the packed-vector layout) and the
+    full gate set.  The exact tuple is used as the memo key, so there
+    is no hash-collision risk.
+    """
+    return (
+        network.name,
+        tuple(network.primary_inputs),
+        tuple(network.primary_outputs),
+        tuple(sorted(
+            (g.name, g.gtype, g.inputs, g.output)
+            for g in network.gates.values()
+        )),
+    )
+
+
+def compile_network(network: Network) -> CompiledNetwork:
+    """Compile ``network``, memoized on its structural fingerprint.
+
+    The per-instance cache (``network._compiled``) short-circuits the
+    common case; on a miss, structurally identical networks built in
+    earlier campaigns share one :class:`CompiledNetwork` (and thus one
+    levelization, one op array and one :class:`NetworkStructures`).
+    """
+    cnet = network._compiled
+    if cnet is not None:
+        return cnet
+    key = structural_fingerprint(network)
+    cnet = _COMPILE_MEMO.get(key)
+    if cnet is None:
+        cnet = CompiledNetwork(network)
+        while len(_COMPILE_MEMO) >= _COMPILE_MEMO_MAX:
+            del _COMPILE_MEMO[next(iter(_COMPILE_MEMO))]
+        _COMPILE_MEMO[key] = cnet
+    network._compiled = cnet
+    return cnet
+
+
+def invalidate_network(network: Network) -> None:
+    """Explicitly drop every compiled form of ``network``.
+
+    Structural edits through the :class:`~repro.logic.network.Network`
+    API already clear the per-instance cache; call this for networks
+    mutated behind the API (or to force a recompile) so the shared memo
+    cannot serve a stale flattened form.
+    """
+    network._compiled = None
+    network._levelized = None
+    _COMPILE_MEMO.pop(structural_fingerprint(network), None)

@@ -170,16 +170,32 @@ class Network:
         return order
 
     def compiled(self):
-        """The flattened bit-parallel form (cached like levelization).
+        """The flattened bit-parallel form (memoized per structure).
 
-        Returns a :class:`repro.logic.compiled.CompiledNetwork`; the
-        cache is invalidated by any structural edit.
+        Returns a :class:`repro.logic.compiled.CompiledNetwork`.  The
+        per-instance cache is invalidated by any structural edit; on a
+        miss the lookup goes through the process-wide
+        :func:`repro.logic.compiled.compile_network` memo, so
+        structurally identical networks (e.g. a benchmark rebuilt per
+        campaign) share one compiled form.
         """
         if self._compiled is None:
-            from repro.logic.compiled import CompiledNetwork
+            from repro.logic.compiled import compile_network
 
-            self._compiled = CompiledNetwork(self)
+            compile_network(self)
         return self._compiled
+
+    def invalidate(self) -> None:
+        """Drop every cached derived form (levelization + compiled).
+
+        The structural-edit methods call the per-instance part of this
+        automatically; use it directly after mutating the network
+        behind the API or to force a recompile — it also evicts the
+        shared compilation memo entry.
+        """
+        from repro.logic.compiled import invalidate_network
+
+        invalidate_network(self)
 
     def depth(self) -> int:
         """Logic depth (levels of gates on the longest path)."""

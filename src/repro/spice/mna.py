@@ -88,20 +88,39 @@ class MNASystem:
         self.g_linear = g
 
     def _build_device_groups(self) -> None:
-        """Group devices by compact-model identity for vectorised eval."""
+        """Group devices by compact-model identity for vectorised eval.
+
+        Alongside the terminal-index matrix, each group precomputes the
+        scatter-add index arrays :meth:`device_contributions` needs:
+        ground terminals (index -1) are masked out once here, and the
+        Jacobian targets are flattened ``row * size + col`` positions
+        so the whole stamp is two ``np.add.at`` calls per group.
+        """
         groups: dict[int, list[str]] = {}
         for name, dev in self.circuit.devices.items():
             groups.setdefault(id(dev.model), []).append(name)
-        self.device_groups: list[tuple[object, list[str], np.ndarray]] = []
+        self.device_groups: list[tuple] = []
         for names in groups.values():
             names.sort()
             model = self.circuit.devices[names[0]].model
-            index_matrix = np.empty((len(names), 5), dtype=int)
+            n = len(names)
+            index_matrix = np.empty((n, 5), dtype=int)
             for i, dev_name in enumerate(names):
                 dev = self.circuit.devices[dev_name]
                 for j, term in enumerate(DEVICE_TERMINALS):
                     index_matrix[i, j] = self._index(getattr(dev, term))
-            self.device_groups.append((model, names, index_matrix))
+            i_valid = index_matrix >= 0  # aligned with i_base[dev, t]
+            i_targets = index_matrix[i_valid]
+            # didv[dev, j_term, t_term] stamps into
+            # (row, col) = (rows[t_term], rows[j_term]).
+            row_t = np.broadcast_to(index_matrix[:, None, :], (n, 5, 5))
+            row_j = np.broadcast_to(index_matrix[:, :, None], (n, 5, 5))
+            j_valid = (row_t >= 0) & (row_j >= 0)
+            j_targets = (row_t * self.size + row_j)[j_valid]
+            self.device_groups.append(
+                (model, names, index_matrix, i_valid, i_targets,
+                 j_valid, j_targets)
+            )
 
     # ------------------------------------------------------------------
     def source_rhs(self, t: float) -> np.ndarray:
@@ -138,7 +157,9 @@ class MNASystem:
         """
         i_dev = np.zeros(self.size)
         j_dev = np.zeros((self.size, self.size))
-        for model, _names, index_matrix in self.device_groups:
+        j_flat = j_dev.ravel()
+        for (model, _names, index_matrix, i_valid, i_targets,
+             j_valid, j_targets) in self.device_groups:
             base = self._terminal_voltages(x, index_matrix)  # (n, 5)
             n = base.shape[0]
             # Perturbation tensor: slot 0 is the base point, slots 1..5
@@ -151,18 +172,10 @@ class MNASystem:
             i_base = currents[:, 0, :]
             didv = (currents[:, 1:, :] - currents[:, None, 0, :]) / _FD_STEP
             # didv[k, j, t]: d(I into terminal t)/d(V of terminal j).
-            for dev in range(n):
-                rows = index_matrix[dev]
-                for t_term in range(5):
-                    row = rows[t_term]
-                    if row < 0:
-                        continue
-                    i_dev[row] += i_base[dev, t_term]
-                    for j_term in range(5):
-                        col = rows[j_term]
-                        if col < 0:
-                            continue
-                        j_dev[row, col] += didv[dev, j_term, t_term]
+            # Scatter-add over the precomputed index arrays (duplicate
+            # node targets accumulate, exactly like the stamping loop).
+            np.add.at(i_dev, i_targets, i_base[i_valid])
+            np.add.at(j_flat, j_targets, didv[j_valid])
         return i_dev, j_dev
 
     # ------------------------------------------------------------------
