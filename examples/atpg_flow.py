@@ -1,68 +1,15 @@
 """Full ATPG flow on a CP benchmark circuit (4-bit ripple-carry adder).
 
-Demonstrates the paper's thesis at circuit scale:
-
-1. classic PODEM generates a compact 100 %-coverage stuck-at test set;
-2. fault-simulating the *polarity* faults (stuck-at n/p on every DP
-   transistor) against that classic set shows most go undetected;
-3. the polarity-aware ATPG (voltage + IDDQ modes) covers them all;
-4. every DP-gate channel break is masked and flagged for the paper's
-   polarity-inversion procedure.
+Thin wrapper over ``python -m repro demo atpg-flow``; the walkthrough
+itself lives in :func:`repro.analysis.demos.demo_atpg_flow` so this
+script and the CLI cannot drift.  The orchestrated version of the same
+measurements over the whole benchmark suite is
+``python -m repro paper-tables``.
 
 Run:  python examples/atpg_flow.py
 """
 
-from repro.analysis.atpg_experiments import classic_stuck_at_testset
-from repro.atpg import (
-    parallel_stuck_at_simulation,
-    polarity_faults,
-    run_polarity_atpg,
-    select_iddq_vectors,
-    serial_polarity_simulation,
-    stuck_at_faults,
-    stuck_open_faults,
-)
-from repro.circuits import ripple_carry_adder
-
-
-def main() -> None:
-    network = ripple_carry_adder(4)
-    print(f"Circuit: {network}")
-    print(f"  stats: {network.stats()}")
-
-    # 1. Classic stuck-at ATPG.
-    sa_faults = stuck_at_faults(network)
-    test_set = classic_stuck_at_testset(network)
-    sa_cov = parallel_stuck_at_simulation(network, sa_faults, test_set)
-    print(f"\n[1] classic stuck-at ATPG: {len(sa_faults)} faults, "
-          f"{len(test_set)} compacted vectors, "
-          f"coverage {sa_cov.coverage:.1%}")
-
-    # 2. How much of the CP fault universe does that set cover?
-    pol_faults = polarity_faults(network)
-    pol_by_sa = serial_polarity_simulation(network, pol_faults, test_set)
-    print(f"\n[2] polarity faults (stuck-at n/p): {len(pol_faults)} total")
-    print(f"    detected by the classic stuck-at set: "
-          f"{pol_by_sa.coverage:.1%}  <-- the paper's gap")
-
-    # 3. Polarity-aware ATPG closes it.
-    pol_atpg = run_polarity_atpg(network)
-    modes = {}
-    for test in pol_atpg.tests:
-        modes[test.mode] = modes.get(test.mode, 0) + 1
-    print(f"\n[3] polarity ATPG coverage: {pol_atpg.coverage:.1%} "
-          f"({modes.get('voltage', 0)} voltage tests, "
-          f"{modes.get('iddq', 0)} IDDQ tests)")
-    iddq = select_iddq_vectors(network)
-    print(f"    compact IDDQ screen: {len(iddq.vectors)} vectors cover "
-          f"{iddq.coverage:.1%} of polarity faults")
-
-    # 4. Stuck-open census.
-    sop = stuck_open_faults(network)
-    masked = [f for f in sop if f.is_masked()]
-    print(f"\n[4] channel breaks: {len(sop)} sites, {len(masked)} masked "
-          f"by DP redundancy -> require the Section V-C procedure")
-
+from repro.campaign.cli import main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(["demo", "atpg-flow"]))

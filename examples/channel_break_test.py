@@ -1,60 +1,14 @@
-"""The paper's new test algorithm: detecting masked channel breaks.
+"""The paper's new test algorithm: detecting masked channel breaks (V-C).
 
-Section V-C: in dynamic-polarity gates the redundant pass-transistor
-pairs mask every single channel break — the gate keeps computing the
-right function, classic stuck-open two-pattern tests cannot exist, and
-delay/leakage shifts are too small to screen reliably.  The paper's
-procedure turns the paper's *other* contribution (stuck-at n/p polarity
-configuration) into a test stimulus: deliberately invert the suspect
-device's polarity and watch whether it answers.
+Thin wrapper over ``python -m repro demo channel-break``; the
+walkthrough itself lives in
+:func:`repro.analysis.demos.demo_channel_break` so this script and the
+CLI cannot drift.
 
 Run:  python examples/channel_break_test.py
 """
 
-from repro.core import (
-    channel_break_procedure,
-    run_channel_break_procedure,
-    two_pattern_sof_tests,
-)
-from repro.gates import NAND2, XOR2
-from repro.logic.switch_level import DeviceState, evaluate
-
-
-def main() -> None:
-    # 1. SP gates are fine with classic two-pattern tests.
-    print("SP NAND2 stuck-open tests (classic two-pattern):")
-    for test in two_pattern_sof_tests(NAND2):
-        print(f"  {test.describe()}")
-
-    # 2. DP gates: no transistor is ever essential -> no SOF test exists.
-    print(f"\nDP XOR2 usable two-pattern tests: "
-          f"{len(two_pattern_sof_tests(XOR2))} (all breaks masked)")
-    for vector in ((0, 0), (0, 1), (1, 0), (1, 1)):
-        broken = evaluate(XOR2, vector, {"t1": DeviceState.STUCK_OPEN})
-        print(f"  A,B={vector}: output with broken t1 = {broken.output} "
-              f"(function {XOR2.function(vector)}) -> masked")
-
-    # 3. The paper's procedure, derived automatically per transistor.
-    print("\nDerived channel-break procedure for XOR2/t3:")
-    procedure = channel_break_procedure(XOR2, "t3")
-    for step in procedure.steps:
-        print(f"  inject {step.injected_state.value}, apply "
-              f"A,B={step.vector}:")
-        print(f"    intact device -> {step.expected_if_intact}")
-        print(f"    broken device -> {step.expected_if_broken}")
-
-    # 4. Execute it against both ground truths.
-    print("\nExecuting the procedure on every transistor:")
-    for transistor in ("t1", "t2", "t3", "t4"):
-        detected = run_channel_break_procedure(
-            XOR2, transistor, broken=True
-        )
-        false_alarm = run_channel_break_procedure(
-            XOR2, transistor, broken=False
-        )
-        print(f"  {transistor}: broken device detected = {detected}, "
-              f"false alarm on intact device = {false_alarm}")
-
+from repro.campaign.cli import main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(["demo", "channel-break"]))

@@ -1,74 +1,14 @@
 """Device playground: I-V curves and gate-oxide-short signatures (Fig. 3).
 
-Sweeps the calibrated TIG-SiNWFET compact model through its operating
-regions, demonstrates the controllable-polarity conduction condition,
-and reproduces the GOS fingerprints of Fig. 3 (ID(SAT) reduction,
-threshold shift, negative drain current).
+Thin wrapper over ``python -m repro demo device-characterization``; the
+walkthrough itself lives in
+:func:`repro.analysis.demos.demo_device_characterization` so this
+script and the CLI cannot drift.
 
 Run:  python examples/device_characterization.py
 """
 
-import numpy as np
-
-from repro.device import (
-    CurveMetrics,
-    GateOxideShort,
-    TIGSiNWFET,
-    compare_to_fault_free,
-    sweep_id_vcg,
-)
-
-
-def conduction_table(device: TIGSiNWFET, vdd: float = 1.2) -> None:
-    print("Conduction condition (ID at VDS = VDD):")
-    print("  CG PGS PGD    ID         state")
-    for cg in (0, 1):
-        for pgs in (0, 1):
-            for pgd in (0, 1):
-                current = device.drain_current(
-                    cg * vdd, pgs * vdd, pgd * vdd, vdd, 0.0
-                )
-                state = "ON " if device.conducts(cg, pgs, pgd) else "off"
-                mode = device.polarity(pgs, pgd)
-                print(
-                    f"   {cg}   {pgs}   {pgd}   {current:9.2e} A  "
-                    f"{state} ({mode}-config)"
-                )
-
-
-def ascii_iv(curve_label: str, v: np.ndarray, i: np.ndarray) -> None:
-    """Log-scale ASCII sketch of a transfer curve."""
-    print(f"\n{curve_label} (log10 |ID|):")
-    log_i = np.log10(np.abs(i) + 1e-16)
-    lo, hi = log_i.min(), log_i.max()
-    for k in range(0, len(v), 10):
-        bar = "#" * int(1 + 50 * (log_i[k] - lo) / max(hi - lo, 1e-9))
-        print(f"  VCG={v[k]:4.2f}  {bar}")
-
-
-def main() -> None:
-    device = TIGSiNWFET()
-    conduction_table(device)
-
-    curve = sweep_id_vcg(device, "n")
-    metrics = CurveMetrics.from_curve(curve)
-    print(f"\nfault-free n-type: Ion={metrics.id_sat * 1e6:.2f} uA, "
-          f"VTh={metrics.vth:.3f} V, SS={metrics.ss * 1e3:.0f} mV/dec, "
-          f"on/off={metrics.on_off:.1e}")
-    ascii_iv("fault-free", curve.v_cg, np.asarray(curve.i_d))
-
-    print("\nGate-oxide shorts (Fig. 3):")
-    for location in ("pgs", "cg", "pgd"):
-        defective = TIGSiNWFET(defect=GateOxideShort(location))
-        numbers = compare_to_fault_free(defective, device)
-        print(
-            f"  GOS@{location.upper():3s}: ID(SAT) x{numbers['id_sat_ratio']:.2f}, "
-            f"dVTh {numbers['delta_vth'] * 1e3:+5.0f} mV, "
-            f"min ID {numbers['i_min'] * 1e9:+7.2f} nA"
-        )
-    print("\nPaper anchors: PGS strongest drop (+170 mV shift), CG milder")
-    print("with negative ID at low VCG, PGD slight increase / no shift.")
-
+from repro.campaign.cli import main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(["demo", "device-characterization"]))

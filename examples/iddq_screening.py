@@ -1,64 +1,15 @@
-"""IDDQ screening of polarity-bridge defects on a parity tree.
+"""IDDQ screening of polarity-bridge defects on a parity tree (Sec. V-B).
 
-Section V-B: pull-up polarity faults never corrupt the output — only the
-supply current betrays them.  This example builds an 8-bit XOR parity
-tree (the classic CP-technology workload), selects a minimal IDDQ vector
-set with the greedy cover, and cross-checks it in the analog domain by
-measuring one screened fault in SPICE.
+Thin wrapper over ``python -m repro demo iddq-screening``; the
+walkthrough itself lives in
+:func:`repro.analysis.demos.demo_iddq_screening` so this script and the
+CLI cannot drift.  The campaign version of the same measurement is
+``python -m repro run --circuits parity8 --fault-classes iddq``.
 
 Run:  python examples/iddq_screening.py
 """
 
-from repro.atpg import polarity_faults, select_iddq_vectors
-from repro.circuits import parity_tree
-from repro.core import StuckAtNType, StuckAtPType
-from repro.gates import build_cell_circuit, get_cell
-from repro.logic import simulate
-from repro.spice import solve_dc
-
-
-def main() -> None:
-    network = parity_tree(8)
-    print(f"Circuit: {network}")
-
-    faults = polarity_faults(network)
-    print(f"polarity faults: {len(faults)} "
-          f"(2 kinds x 4 transistors x {len(network.gates)} DP gates)")
-
-    selection = select_iddq_vectors(network)
-    print(f"\ngreedy IDDQ cover: {len(selection.vectors)} vectors, "
-          f"coverage {selection.coverage:.1%}")
-    for k, vector in enumerate(selection.vectors):
-        bits = "".join(
-            str(vector[n]) for n in network.primary_inputs
-        )
-        covered = sum(1 for v in selection.covered.values() if v == k)
-        print(f"  vector {k}: d7..d0 = {bits[::-1]}  "
-              f"(first-covers {covered} faults)")
-
-    # Analog cross-check: drive one covered fault's gate to its conflict
-    # combination and measure the cell-level supply current.
-    fault = faults[0]
-    vector = selection.vectors[selection.covered[fault.name]]
-    values = simulate(network, vector)
-    gate = network.gates[fault.gate]
-    local = tuple(values[n] for n in gate.inputs)
-    print(f"\ncross-check {fault.name}: local inputs at {fault.gate} = "
-          f"{local}")
-
-    cell = get_cell(fault.gtype)
-    good = build_cell_circuit(cell, fanout=4)
-    good.set_vector(local)
-    iddq_good = solve_dc(good.circuit).supply_current("vdd")
-    bad = build_cell_circuit(cell, fanout=4)
-    factory = StuckAtNType if fault.kind == "n" else StuckAtPType
-    factory(fault.transistor).apply(bad)
-    bad.set_vector(local)
-    iddq_bad = solve_dc(bad.circuit).supply_current("vdd")
-    print(f"  cell IDDQ: fault-free {iddq_good * 1e12:.1f} pA -> "
-          f"faulty {iddq_bad * 1e9:.2f} nA "
-          f"(x{iddq_bad / iddq_good:.1e})")
-
+from repro.campaign.cli import main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(["demo", "iddq-screening"]))

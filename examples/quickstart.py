@@ -1,51 +1,13 @@
 """Quickstart: build a CP XOR gate, inject the paper's new fault, detect it.
 
-Walks the core loop of the library in ~40 lines:
-
-1. instantiate the TIG-SiNWFET compact model and a DP XOR2 testbench,
-2. inject a *stuck-at n-type* polarity fault (a bridge between t1's
-   polarity terminal and VDD — the fault class this paper introduced),
-3. show that the output still reads correctly (a voltage tester misses
-   it) while IDDQ explodes by ~5 orders of magnitude (an IDDQ tester
-   catches it) — Table III, row one.
+Thin wrapper over ``python -m repro demo quickstart``; the walkthrough
+itself lives in :func:`repro.analysis.demos.demo_quickstart` so this
+script and the CLI cannot drift.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import StuckAtNType
-from repro.gates import XOR2, build_cell_circuit
-from repro.spice import solve_dc
-from repro.spice.measure import logic_level
-
-
-def main() -> None:
-    vdd = 1.2
-
-    # Fault-free reference: apply A=B=0 and measure output + IDDQ.
-    good = build_cell_circuit(XOR2, fanout=4)
-    good.set_vector((0, 0))
-    op = solve_dc(good.circuit)
-    good_level = logic_level(op.voltage("out"), vdd)
-    good_iddq = op.supply_current("vdd")
-    print(f"fault-free  : out = {op.voltage('out'):.3f} V "
-          f"(logic {good_level}), IDDQ = {good_iddq * 1e12:.1f} pA")
-
-    # Inject: polarity terminal of pull-up t1 bridged to VDD.
-    faulty = build_cell_circuit(XOR2, fanout=4)
-    StuckAtNType("t1").apply(faulty)
-    faulty.set_vector((0, 0))
-    op = solve_dc(faulty.circuit)
-    level = logic_level(op.voltage("out"), vdd)
-    iddq = op.supply_current("vdd")
-    print(f"stuck-at-n t1: out = {op.voltage('out'):.3f} V "
-          f"(logic {level}), IDDQ = {iddq * 1e9:.2f} nA")
-
-    ratio = iddq / good_iddq
-    print(f"\nIDDQ ratio: x{ratio:.2e}")
-    print("A voltage test cannot rely on the output here; the supply")
-    print("current gives the fault away — exactly Table III of the paper.")
-    assert ratio > 1e4
-
+from repro.campaign.cli import main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(["demo", "quickstart"]))

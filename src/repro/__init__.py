@@ -14,7 +14,9 @@ The package provides, from the bottom up:
 * :mod:`repro.atpg` — PODEM ATPG, polarity-fault and stuck-open test
   generation, fault simulation,
 * :mod:`repro.circuits` — benchmark circuits built from the CP library,
-* :mod:`repro.analysis` — experiment drivers for every paper table/figure.
+* :mod:`repro.analysis` — experiment drivers for every paper table/figure,
+* :mod:`repro.campaign` — orchestrated, sharded, resumable campaigns over
+  circuits and fault classes, behind the ``python -m repro`` CLI.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,6 @@
+"""``python -m repro`` — the campaign CLI (see repro.campaign.cli)."""
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

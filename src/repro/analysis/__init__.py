@@ -1,12 +1,20 @@
-"""Experiment drivers and reporting for every paper table and figure."""
+"""Experiment drivers and reporting for every paper table and figure.
+
+Every driver here is also reachable from the CLI: ``python -m repro
+experiment <name>`` dispatches through
+:data:`repro.analysis.experiments.EXPERIMENTS`, and the circuit-scale
+coverage study runs as a campaign grid (see :mod:`repro.campaign`).
+"""
 
 from repro.analysis.atpg_experiments import (
     CircuitCoverage,
     classic_stuck_at_testset,
     coverage_for,
+    coverage_from_records,
     experiment_atpg_coverage,
 )
 from repro.analysis.experiments import (
+    EXPERIMENTS,
     FIG5_PANELS,
     experiment_fig3,
     experiment_fig4,
@@ -32,12 +40,14 @@ from repro.analysis.sweeps import (
 
 __all__ = [
     "CircuitCoverage",
+    "EXPERIMENTS",
     "FIG5_PANELS",
     "VcutPoint",
     "VcutSweep",
     "ascii_table",
     "classic_stuck_at_testset",
     "coverage_for",
+    "coverage_from_records",
     "experiment_atpg_coverage",
     "experiment_fig3",
     "experiment_fig4",

@@ -4,27 +4,26 @@ The paper's thesis, lifted from single gates to circuits: classic
 stuck-at test sets do *not* cover the CP-specific faults (polarity
 bridges, DP channel breaks), while the new models make them testable.
 :func:`experiment_atpg_coverage` quantifies this on the benchmark suite.
+
+Since the campaign subsystem landed, this module is a thin, typed view
+over it: the measurements run as a ``(circuit x fault-class)`` grid
+through :func:`repro.campaign.runner.run_campaign` (in-process,
+unsharded — the same records ``python -m repro paper-tables`` produces
+with a pool and a JSONL store), and the table is rendered by
+:func:`repro.campaign.tables.coverage_table`.  Example::
+
+    >>> from repro.analysis.atpg_experiments import experiment_atpg_coverage
+    >>> results, report = experiment_atpg_coverage(("c17", "tmr_voter"))
+    >>> [r.name for r in results]
+    ['c17', 'tmr_voter']
+    >>> results[0].stuck_at_coverage
+    1.0
 """
 
 from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.report import ascii_table
-from repro.atpg.compaction import compact_tests
-from repro.atpg.fault_sim import (
-    parallel_polarity_simulation,
-    parallel_stuck_at_simulation,
-)
-from repro.atpg.faults import (
-    polarity_faults,
-    stuck_at_faults,
-    stuck_open_faults,
-)
-from repro.atpg.iddq import select_iddq_vectors
-from repro.atpg.podem import run_stuck_at_atpg
-from repro.atpg.polarity_atpg import run_polarity_atpg
-from repro.circuits.generators import build_benchmark
 from repro.logic.network import Network
 
 
@@ -52,11 +51,58 @@ def classic_stuck_at_testset(
     network: Network, max_backtracks: int = 500, engine: str = "compiled"
 ) -> list[dict[str, int]]:
     """PODEM with fault dropping + greedy compaction: the classic
-    production test set."""
-    faults = stuck_at_faults(network)
-    atpg = run_stuck_at_atpg(network, faults, max_backtracks, engine=engine)
-    compacted = compact_tests(network, atpg.tests, faults)
-    return compacted.vectors
+    production test set (canonical implementation in
+    :func:`repro.campaign.tasks.classic_stuck_at_testset`)."""
+    from repro.campaign.tasks import classic_stuck_at_testset as impl
+
+    return impl(network, max_backtracks, engine=engine)
+
+
+def _nan_if_none(value: float | None) -> float:
+    return float("nan") if value is None else value
+
+
+def coverage_from_records(records: list[dict]) -> list[CircuitCoverage]:
+    """Fold campaign records into :class:`CircuitCoverage` rows.
+
+    Tolerates partial grids the way
+    :func:`repro.campaign.tables.coverage_table` does: fault classes
+    missing from a circuit's records report zero counts / NaN
+    coverages instead of raising.
+    """
+    from repro.campaign.tables import by_circuit
+
+    rows = []
+    for circuit, cells in by_circuit(records).items():
+        def metrics(fault_class: str) -> dict:
+            return cells.get(fault_class, {}).get("metrics", {})
+
+        sa = metrics("stuck_at")
+        pol = metrics("polarity")
+        iddq = metrics("iddq")
+        sop = metrics("stuck_open")
+        stats = next(iter(cells.values())).get("circuit_stats", {})
+        rows.append(
+            CircuitCoverage(
+                name=circuit,
+                n_gates=stats.get("gates", 0),
+                n_stuck_at=sa.get("n_faults", 0),
+                n_polarity=pol.get("n_faults", 0),
+                n_stuck_open=sop.get("n_faults", 0),
+                n_masked_opens=sop.get("n_masked", 0),
+                stuck_at_coverage=_nan_if_none(sa.get("coverage")),
+                stuck_at_vectors=sa.get("n_vectors", 0),
+                polarity_by_stuck_at_set=_nan_if_none(
+                    pol.get("coverage_by_stuck_at_set")
+                ),
+                polarity_atpg_coverage=_nan_if_none(
+                    pol.get("atpg_coverage")
+                ),
+                iddq_vectors=iddq.get("n_vectors", 0),
+                iddq_coverage=_nan_if_none(iddq.get("coverage")),
+            )
+        )
+    return rows
 
 
 def coverage_for(
@@ -64,100 +110,59 @@ def coverage_for(
 ) -> CircuitCoverage:
     """Full coverage analysis of one circuit.
 
-    ``engine`` selects the PODEM implementation for every generation
-    step (compiled default / legacy oracle); the compiled network and
-    its search structures are shared across all campaigns through the
+    Runs all four campaign fault classes
+    (:data:`repro.campaign.tasks.TASK_RUNNERS`) on ``network``
+    in-process; the compiled network and its search structures are
+    shared across the campaigns through the
     :func:`repro.logic.compiled.compile_network` memo.
     """
-    sa_faults = stuck_at_faults(network)
-    pol_faults = polarity_faults(network)
-    sop_faults = stuck_open_faults(network)
+    from repro.campaign.store import SCHEMA_VERSION
+    from repro.campaign.tasks import DEFAULT_FAULT_CLASSES, run_fault_class
 
-    test_set = classic_stuck_at_testset(network, engine=engine)
-    sa_result = parallel_stuck_at_simulation(network, sa_faults, test_set)
-
-    if pol_faults:
-        pol_by_sa = parallel_polarity_simulation(
-            network, pol_faults, test_set
-        )
-        pol_atpg = run_polarity_atpg(network, pol_faults, engine=engine)
-        iddq = select_iddq_vectors(network, pol_faults, engine=engine)
-        pol_by_sa_cov = pol_by_sa.coverage
-        pol_atpg_cov = pol_atpg.coverage
-        iddq_vectors = len(iddq.vectors)
-        iddq_cov = iddq.coverage
-    else:
-        pol_by_sa_cov = float("nan")
-        pol_atpg_cov = float("nan")
-        iddq_vectors = 0
-        iddq_cov = float("nan")
-
-    masked = sum(1 for f in sop_faults if f.is_masked())
-    return CircuitCoverage(
-        name=network.name,
-        n_gates=len(network.gates),
-        n_stuck_at=len(sa_faults),
-        n_polarity=len(pol_faults),
-        n_stuck_open=len(sop_faults),
-        n_masked_opens=masked,
-        stuck_at_coverage=sa_result.coverage,
-        stuck_at_vectors=len(test_set),
-        polarity_by_stuck_at_set=pol_by_sa_cov,
-        polarity_atpg_coverage=pol_atpg_cov,
-        iddq_vectors=iddq_vectors,
-        iddq_coverage=iddq_cov,
-    )
+    records = [
+        {
+            "schema": SCHEMA_VERSION,
+            "task_id": f"{network.name}/{fault_class}/{engine}",
+            "circuit": network.name,
+            "fault_class": fault_class,
+            "engine": engine,
+            "status": "ok",
+            "circuit_stats": network.stats(),
+            "metrics": run_fault_class(network, fault_class, engine),
+        }
+        for fault_class in DEFAULT_FAULT_CLASSES
+    ]
+    return coverage_from_records(records)[0]
 
 
 def experiment_atpg_coverage(
-    benchmark_names: tuple[str, ...] = (
-        "c17", "rca4", "parity8", "tmr_voter", "eq4", "alu_slice"
-    ),
+    benchmark_names: tuple[str, ...] | None = None,
 ) -> tuple[list[CircuitCoverage], str]:
-    """Run the coverage study over the benchmark suite."""
-    results = [coverage_for(build_benchmark(n)) for n in benchmark_names]
+    """Run the coverage study over the benchmark suite (default: the
+    Section 5 suite, :data:`repro.campaign.tables.SECTION5_SUITE`).
 
-    def pct(x: float) -> str:
-        import math
+    Equivalent CLI: ``python -m repro paper-tables`` (which adds
+    multiprocessing fan-out and JSONL resume on top of the same grid).
+    """
+    from repro.campaign.runner import expand_grid, run_campaign
+    from repro.campaign.tables import (
+        SECTION5_READING,
+        SECTION5_SUITE,
+        coverage_table,
+    )
 
-        return "n/a" if math.isnan(x) else f"{x * 100:.0f}%"
-
-    rows = [
-        (
-            r.name,
-            r.n_gates,
-            r.stuck_at_vectors,
-            pct(r.stuck_at_coverage),
-            r.n_polarity,
-            pct(r.polarity_by_stuck_at_set),
-            pct(r.polarity_atpg_coverage),
-            f"{r.iddq_vectors}",
-            r.n_masked_opens,
-            r.n_stuck_open,
-        )
-        for r in results
-    ]
+    if benchmark_names is None:
+        benchmark_names = SECTION5_SUITE
+    campaign = run_campaign(expand_grid(benchmark_names))
+    failed = [r["task_id"] for r in campaign.records
+              if r["status"] != "ok"]
+    if failed:
+        raise RuntimeError(f"campaign tasks failed: {failed}")
+    results = coverage_from_records(campaign.records)
     report = [
         "Circuit-scale coverage: classic stuck-at tests vs CP fault models",
-        ascii_table(
-            (
-                "circuit",
-                "gates",
-                "SA vecs",
-                "SA cov",
-                "pol faults",
-                "pol cov by SA set",
-                "pol cov (new ATPG)",
-                "IDDQ vecs",
-                "masked opens",
-                "opens",
-            ),
-            rows,
-        ),
+        coverage_table(campaign.records),
         "",
-        "Reading: the classic stuck-at set leaves most polarity faults",
-        "undetected at the outputs; the polarity-aware ATPG (voltage +",
-        "IDDQ modes) closes the gap, and every DP-gate open is masked,",
-        "requiring the paper's channel-break procedure.",
+        SECTION5_READING,
     ]
     return results, "\n".join(report)

@@ -2,7 +2,14 @@
 
 Each function runs the complete measurement and returns a structured
 result plus a rendered text report; the ``benchmarks/`` directory calls
-these and persists the reports under ``benchmarks/out/``.
+these and persists the reports under ``benchmarks/out/``, and the
+:data:`EXPERIMENTS` registry at the bottom exposes every driver to the
+``python -m repro experiment <name>`` CLI.  Example::
+
+    >>> from repro.analysis.experiments import EXPERIMENTS
+    >>> rows, report = EXPERIMENTS["table2"]()
+    >>> "TIG-SiNWFET" in report
+    True
 """
 
 from __future__ import annotations
@@ -514,3 +521,28 @@ def experiment_sec5c():
         ascii_table(("test pair", "broken transistor", "result"), sof_rows),
     ]
     return observations, "\n".join(report)
+
+
+# ---------------------------------------------------------------------------
+# Driver registry (the `python -m repro experiment` dispatch table)
+# ---------------------------------------------------------------------------
+
+def _experiment_atpg_coverage():
+    # Imported lazily: the coverage study sits in atpg_experiments and
+    # runs through the campaign layer.
+    from repro.analysis.atpg_experiments import experiment_atpg_coverage
+
+    return experiment_atpg_coverage()
+
+
+#: name -> driver; every entry returns ``(structured_result, report)``.
+EXPERIMENTS = {
+    "table1": experiment_table1,
+    "table2": experiment_table2,
+    "table3": experiment_table3,
+    "fig3": experiment_fig3,
+    "fig4": experiment_fig4,
+    "fig5": experiment_fig5,
+    "sec5c": experiment_sec5c,
+    "atpg-coverage": _experiment_atpg_coverage,
+}

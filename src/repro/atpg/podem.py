@@ -399,12 +399,15 @@ class StuckAtAtpgResult:
             vector (for dropped faults, the test that dropped them).
         untestable: Faults proven untestable within the search bound.
         aborted: Faults the backtrack budget gave up on.
+        total_backtracks: Backtracks summed over every PODEM search of
+            the campaign (the effort metric the campaign layer stores).
     """
 
     tests: list[dict[str, int]]
     detected: dict[str, int]
     untestable: list[str]
     aborted: list[str]
+    total_backtracks: int = 0
 
     @property
     def coverage(self) -> float:
@@ -444,10 +447,12 @@ def run_stuck_at_atpg(
     aborted: list[str] = []
     suspect: list[str] = []
     dead: set[str] = set()  # proven untestable / aborted: never dropped
+    total_backtracks = 0
     for fault, fault_name in zip(faults, names):
         if fault_name in detected:
             continue
         result = generate_test(network, fault, max_backtracks, engine=engine)
+        total_backtracks += result.backtracks
         if not result.success:
             (aborted if result.aborted else untestable).append(fault_name)
             dead.add(fault_name)
@@ -476,4 +481,5 @@ def run_stuck_at_atpg(
         detected=detected,
         untestable=sorted(untestable),
         aborted=sorted(aborted),
+        total_backtracks=total_backtracks,
     )

@@ -1,0 +1,60 @@
+"""Campaign orchestration: sharded, resumable test campaigns.
+
+The layer above the per-circuit engines: a benchmark registry
+(:mod:`~repro.campaign.registry`), deterministic fault-class tasks
+(:mod:`~repro.campaign.tasks`), a multiprocessing grid runner with
+JSONL checkpointing (:mod:`~repro.campaign.runner` /
+:mod:`~repro.campaign.store`), report rendering from stored records
+(:mod:`~repro.campaign.tables`), and the ``python -m repro`` CLI
+(:mod:`~repro.campaign.cli`).
+
+Programmatic quickstart::
+
+    from repro.campaign import expand_grid, run_campaign, render_report
+
+    grid = expand_grid(["c17", "rca4"], ["stuck_at", "polarity"])
+    result = run_campaign(grid, store="campaign.jsonl", workers=4)
+    print(render_report(result.records))
+"""
+
+from repro.campaign.registry import CircuitSpec, Registry, get_registry
+from repro.campaign.runner import (
+    CampaignResult,
+    TaskSpec,
+    execute_task,
+    expand_grid,
+    run_campaign,
+)
+from repro.campaign.store import ResultStore, stores_equal, strip_volatile
+from repro.campaign.tables import (
+    coverage_table,
+    escape_table,
+    render_report,
+    run_table,
+)
+from repro.campaign.tasks import (
+    DEFAULT_FAULT_CLASSES,
+    TASK_RUNNERS,
+    run_fault_class,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CircuitSpec",
+    "DEFAULT_FAULT_CLASSES",
+    "Registry",
+    "ResultStore",
+    "TASK_RUNNERS",
+    "TaskSpec",
+    "coverage_table",
+    "escape_table",
+    "execute_task",
+    "expand_grid",
+    "get_registry",
+    "render_report",
+    "run_campaign",
+    "run_fault_class",
+    "run_table",
+    "stores_equal",
+    "strip_volatile",
+]

@@ -1,0 +1,338 @@
+"""``python -m repro``: one entry point for every scenario in the repo.
+
+Subcommands::
+
+    repro list          circuits + fault classes the grids are built from
+    repro run           run a (circuit x fault-class) grid, checkpointed
+    repro report        re-render tables from a stored JSONL campaign
+    repro paper-tables  the paper's Section 5 coverage/escape tables
+    repro experiment    single paper artifacts (Table I-III, Fig. 3-5, V-C)
+    repro demo          the narrated walkthroughs behind ``examples/``
+
+Copy-paste invocations for each paper table live in
+``docs/CAMPAIGNS.md``; the end-to-end walkthrough in
+``docs/TUTORIAL.md``.  Typical session::
+
+    python -m repro list --tag tiny
+    python -m repro run --circuits c17 rca4 --fault-classes stuck_at polarity
+    python -m repro report --store campaign_store.jsonl
+    python -m repro paper-tables
+
+``run`` and ``paper-tables`` resume from their JSONL store by default:
+interrupt them mid-grid and the rerun recomputes only unfinished tasks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaign.registry import get_registry
+from repro.campaign.runner import expand_grid, run_campaign
+from repro.campaign.store import ResultStore
+from repro.campaign.tables import (
+    SECTION5_READING,
+    SECTION5_SUITE as PAPER_SUITE,
+    coverage_table,
+    escape_table,
+    render_report,
+    run_table,
+)
+from repro.campaign.tasks import DEFAULT_FAULT_CLASSES, TASK_RUNNERS
+
+#: ``--smoke`` grid: 2 circuits x 2 fault classes, seconds on 2 workers
+#: (the CI job), still crossing an SP-only and a DP circuit.
+SMOKE_CIRCUITS: tuple[str, ...] = ("c17", "tmr_voter")
+SMOKE_FAULT_CLASSES: tuple[str, ...] = ("stuck_at", "polarity")
+
+DEFAULT_STORE = "campaign_store.jsonl"
+PAPER_STORE = "benchmarks/out/paper_campaign.jsonl"
+
+#: Static name lists so parser construction stays import-light (the
+#: drivers behind them are imported lazily by their subcommands).
+EXPERIMENT_NAMES: tuple[str, ...] = (
+    "table1", "table2", "table3", "fig3", "fig4", "fig5", "sec5c",
+    "atpg-coverage",
+)
+DEMO_NAMES: tuple[str, ...] = (
+    "quickstart", "device-characterization", "iddq-screening",
+    "channel-break", "atpg-flow",
+)
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--circuits", nargs="+", metavar="NAME",
+        help="registry circuit names (see 'repro list')",
+    )
+    parser.add_argument(
+        "--tag", nargs="+", default=None, metavar="TAG",
+        help="select circuits carrying all of these tags instead",
+    )
+    parser.add_argument(
+        "--fault-classes", nargs="+", metavar="CLASS",
+        choices=sorted(TASK_RUNNERS), default=None,
+        help=f"subset of {sorted(TASK_RUNNERS)} (default: all)",
+    )
+    parser.add_argument(
+        "--engine", default="compiled", choices=("compiled", "legacy"),
+        help="PODEM engine backing every generation step",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="pool size (default 1; 1 = inline, no subprocesses; "
+             "--smoke defaults to 2 unless given)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock bound (overruns become 'timeout' records)",
+    )
+    parser.add_argument(
+        "--no-resume", action="store_true",
+        help="recompute every task even if the store already has it",
+    )
+    parser.add_argument(
+        "--bench", nargs="+", default=(), metavar="FILE",
+        help="register external .bench netlists before expanding the grid",
+    )
+
+
+def _register_bench_files(paths) -> list[str]:
+    registry = get_registry()
+    names = []
+    for path in paths:
+        names.append(registry.register_bench_file(path, replace=True).name)
+    return names
+
+
+def _run_grid(args, circuits, fault_classes, store_path) -> int:
+    grid = expand_grid(
+        circuits, fault_classes, engine=args.engine
+    )
+    result = run_campaign(
+        grid,
+        store=store_path,
+        workers=args.workers or 1,
+        timeout=args.timeout,
+        resume=not args.no_resume,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print(render_report(result.records))
+    if result.store_path is not None:
+        print(f"\nstore: {result.store_path} "
+              f"({result.n_run} run, {result.n_skipped} resumed)")
+    return 1 if result.n_failed else 0
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_list(args) -> int:
+    from repro.analysis.report import ascii_table
+
+    registry = get_registry()
+    names = registry.names(tags=args.tag)
+    rows = []
+    for name in names:
+        spec = registry.spec(name)
+        stats = spec.stats()
+        rows.append(
+            (
+                name,
+                stats["gates"],
+                stats["inputs"],
+                stats["outputs"],
+                stats["depth"],
+                " ".join(sorted(spec.all_tags())),
+            )
+        )
+    print(ascii_table(
+        ("circuit", "gates", "PIs", "POs", "depth", "tags"), rows
+    ))
+    print(f"\nfault classes: {' '.join(DEFAULT_FAULT_CLASSES)}")
+    return 0
+
+
+def _select_circuits(args) -> list[str]:
+    """Grid circuit selection shared by ``run`` and ``paper-tables``:
+    explicit names, tag selection, and any just-registered ``--bench``
+    netlists (which select themselves)."""
+    bench_names = _register_bench_files(args.bench)
+    if args.tag:
+        circuits = get_registry().names(tags=args.tag)
+    else:
+        circuits = list(args.circuits or ())
+    circuits.extend(n for n in bench_names if n not in circuits)
+    return circuits
+
+
+def cmd_run(args) -> int:
+    circuits = _select_circuits(args)
+    if args.smoke:
+        circuits = circuits or list(SMOKE_CIRCUITS)
+        fault_classes = list(args.fault_classes or SMOKE_FAULT_CLASSES)
+        if args.workers is None:
+            args.workers = 2
+    else:
+        fault_classes = list(args.fault_classes or DEFAULT_FAULT_CLASSES)
+        if not circuits:
+            print("no circuits selected: pass --circuits, --tag, --bench "
+                  "or --smoke", file=sys.stderr)
+            return 2
+    return _run_grid(args, circuits, fault_classes, args.store)
+
+
+def cmd_report(args) -> int:
+    store = ResultStore(args.store)
+    records = list(store.latest().values())
+    if not records:
+        print(f"no records in {args.store}", file=sys.stderr)
+        return 1
+    if args.table == "coverage":
+        print(coverage_table(records))
+    elif args.table == "escapes":
+        print(escape_table(records))
+    elif args.table == "tasks":
+        print(run_table(records))
+    else:
+        print(render_report(records))
+    return 0
+
+
+def cmd_paper_tables(args) -> int:
+    grid = expand_grid(
+        _select_circuits(args) or list(PAPER_SUITE),
+        args.fault_classes or DEFAULT_FAULT_CLASSES,
+        engine=args.engine,
+    )
+    result = run_campaign(
+        grid,
+        store=args.store,
+        workers=args.workers or 1,
+        timeout=args.timeout,
+        resume=not args.no_resume,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print("Section 5 coverage study: "
+          "classic stuck-at tests vs CP fault models")
+    print(coverage_table(result.records))
+    print()
+    print("Escapes of the classic flow "
+          "(the faults needing the paper's new tests):")
+    print(escape_table(result.records))
+    print()
+    print(SECTION5_READING)
+    if result.store_path is not None:
+        print(f"\nstore: {result.store_path} "
+              f"({result.n_run} run, {result.n_skipped} resumed)")
+    return 1 if result.n_failed else 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.analysis.experiments import EXPERIMENTS
+
+    driver = EXPERIMENTS[args.name]
+    _result, report = driver()
+    print(report)
+    if args.out:
+        from repro.analysis.report import save_report
+
+        path = save_report(args.name, report, directory=args.out)
+        print(f"\nsaved: {path}", file=sys.stderr)
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from repro.analysis.demos import DEMOS
+
+    DEMOS[args.name]()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Campaign orchestration for the CP-SiNWFET fault-modeling "
+            "reproduction (see docs/CAMPAIGNS.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser(
+        "list", help="list registered circuits and fault classes"
+    )
+    p_list.add_argument("--tag", nargs="+", default=None)
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser(
+        "run", help="run a (circuit x fault-class) grid with checkpointing"
+    )
+    _add_grid_arguments(p_run)
+    p_run.add_argument(
+        "--store", default=DEFAULT_STORE, metavar="PATH",
+        help=f"JSONL checkpoint/result store (default {DEFAULT_STORE})",
+    )
+    p_run.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "CI grid: "
+            f"{' '.join(SMOKE_CIRCUITS)} x {' '.join(SMOKE_FAULT_CLASSES)}"
+            " on 2 workers"
+        ),
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_report = sub.add_parser(
+        "report", help="render tables from a stored campaign"
+    )
+    p_report.add_argument("--store", default=DEFAULT_STORE, metavar="PATH")
+    p_report.add_argument(
+        "--table", default="all",
+        choices=("all", "coverage", "escapes", "tasks"),
+    )
+    p_report.set_defaults(func=cmd_report)
+
+    p_paper = sub.add_parser(
+        "paper-tables",
+        help="reproduce the paper's Section 5 coverage/escape tables",
+    )
+    _add_grid_arguments(p_paper)
+    p_paper.add_argument(
+        "--store", default=PAPER_STORE, metavar="PATH",
+        help=f"JSONL store (default {PAPER_STORE})",
+    )
+    p_paper.set_defaults(func=cmd_paper_tables)
+
+    p_exp = sub.add_parser(
+        "experiment",
+        help="run one paper-artifact driver (tables I-III, figs 3-5, V-C)",
+    )
+    p_exp.add_argument("name", choices=EXPERIMENT_NAMES)
+    p_exp.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also save the report under DIR",
+    )
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_demo = sub.add_parser(
+        "demo", help="run a narrated walkthrough (backs examples/*.py)"
+    )
+    p_demo.add_argument("name", choices=DEMO_NAMES)
+    p_demo.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

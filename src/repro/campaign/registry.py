@@ -1,0 +1,257 @@
+"""Benchmark registry: every circuit in the repo, addressable by name.
+
+The registry unifies the two circuit sources behind one lookup:
+
+* the **generated benchmarks** of :mod:`repro.circuits.generators`
+  (adders, ALUs, multipliers, parity trees, ...), registered at import
+  time from :data:`~repro.circuits.generators.BENCHMARK_BUILDERS`, and
+* **external ISCAS-style netlists** parsed through
+  :mod:`repro.logic.bench_format`, registered from a text blob
+  (:meth:`Registry.register_bench_text`) or a ``.bench`` file on disk
+  (:meth:`Registry.register_bench_file`).
+
+Each entry carries a tag set (source, structural family, and a lazy
+size class derived from the gate count) so campaigns can select grids
+by tag instead of spelling out names::
+
+    >>> from repro.campaign.registry import get_registry
+    >>> reg = get_registry()
+    >>> "c17" in reg.names()
+    True
+    >>> reg.load("tmr_voter").stats()["gates"]
+    1
+    >>> sorted(reg.names(tags={"adder"}))[:2]
+    ['rca16', 'rca32']
+
+Entries registered from bench text remain serialisable (the text rides
+along in :class:`CircuitSpec.bench_text`), so campaign workers can
+reconstruct them in a fresh process regardless of the multiprocessing
+start method.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from repro.circuits.generators import BENCHMARK_BUILDERS
+from repro.logic.bench_format import parse_bench
+from repro.logic.network import Network
+
+#: Gate-count thresholds for the derived size tags, smallest first.
+SIZE_CLASSES: tuple[tuple[str, int], ...] = (
+    ("tiny", 10),
+    ("small", 50),
+    ("medium", 200),
+    ("large", 10**9),
+)
+
+#: Structural-family tags for the generated suite (beyond "generated").
+_FAMILY_TAGS: Mapping[str, tuple[str, ...]] = {
+    "c17": ("iscas", "control"),
+    "rca4": ("adder", "arithmetic"),
+    "rca8": ("adder", "arithmetic"),
+    "rca16": ("adder", "arithmetic"),
+    "rca32": ("adder", "arithmetic"),
+    "parity8": ("parity", "xor-tree"),
+    "parity16": ("parity", "xor-tree"),
+    "parity32": ("parity", "xor-tree"),
+    "tmr_voter": ("voter",),
+    "eq4": ("comparator",),
+    "eq8": ("comparator",),
+    "mux8": ("mux",),
+    "alu_slice": ("alu", "arithmetic"),
+    "alu4": ("alu", "arithmetic"),
+    "alu8": ("alu", "arithmetic"),
+    "mul4": ("multiplier", "arithmetic"),
+}
+
+
+def size_class(n_gates: int) -> str:
+    """Map a gate count onto the coarse size tag used by the registry."""
+    for tag, limit in SIZE_CLASSES:
+        if n_gates < limit:
+            return tag
+    return SIZE_CLASSES[-1][0]
+
+
+@dataclasses.dataclass
+class CircuitSpec:
+    """One registry entry.
+
+    Attributes:
+        name: Registry key (also the campaign record's circuit name).
+        source: ``"generated"`` or ``"bench"``.
+        tags: Static tags; :meth:`all_tags` adds the lazy size class.
+        description: One-line human summary for ``repro list``.
+        bench_text: For ``source == "bench"``: the netlist text, kept so
+            the spec survives pickling into worker processes.
+    """
+
+    name: str
+    source: str
+    loader: Callable[[], Network]
+    tags: frozenset[str] = frozenset()
+    description: str = ""
+    bench_text: str | None = None
+    _stats: dict[str, int] | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
+    def build(self) -> Network:
+        """Construct a fresh :class:`Network` for this entry."""
+        network = self.loader()
+        if self._stats is None:
+            self._stats = network.stats()
+        return network
+
+    def stats(self) -> dict[str, int]:
+        """Size summary (memoised — first call builds the circuit)."""
+        if self._stats is None:
+            self._stats = self.loader().stats()
+        return self._stats
+
+    def all_tags(self) -> frozenset[str]:
+        """Static tags plus the derived size class."""
+        return self.tags | {self.source, size_class(self.stats()["gates"])}
+
+
+class Registry:
+    """Name -> :class:`CircuitSpec` mapping with tag-based selection."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, CircuitSpec] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, spec: CircuitSpec, replace: bool = False) -> CircuitSpec:
+        if not replace and spec.name in self._specs:
+            raise ValueError(f"circuit {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def register_generated(
+        self,
+        name: str,
+        builder: Callable[[], Network],
+        tags: Iterable[str] = (),
+        description: str = "",
+    ) -> CircuitSpec:
+        """Register a circuit produced by a Python builder function."""
+        return self.register(
+            CircuitSpec(
+                name=name,
+                source="generated",
+                loader=builder,
+                tags=frozenset(tags),
+                description=description,
+            )
+        )
+
+    def register_bench_text(
+        self,
+        name: str,
+        text: str,
+        tags: Iterable[str] = (),
+        description: str = "",
+        replace: bool = False,
+    ) -> CircuitSpec:
+        """Register an ISCAS-style netlist from its text.
+
+        The text is parsed once eagerly so malformed netlists fail at
+        registration (not mid-campaign), then kept on the spec for
+        worker-side reconstruction.
+        """
+        parse_bench(text, name=name)  # validate now, not in a worker
+        return self.register(
+            CircuitSpec(
+                name=name,
+                source="bench",
+                loader=lambda: parse_bench(text, name=name),
+                tags=frozenset(tags),
+                description=description or f"external .bench netlist {name!r}",
+                bench_text=text,
+            ),
+            replace=replace,
+        )
+
+    def register_bench_file(
+        self,
+        path: str | Path,
+        name: str | None = None,
+        tags: Iterable[str] = (),
+        replace: bool = False,
+    ) -> CircuitSpec:
+        """Register a ``.bench`` file; the name defaults to the stem."""
+        path = Path(path)
+        return self.register_bench_text(
+            name or path.stem,
+            path.read_text(),
+            tags=tags,
+            description=f"external .bench netlist from {path.name}",
+            replace=replace,
+        )
+
+    # -- lookup -----------------------------------------------------------
+
+    def spec(self, name: str) -> CircuitSpec:
+        if name not in self._specs:
+            raise KeyError(
+                f"unknown circuit {name!r}; available: {sorted(self._specs)}"
+            )
+        return self._specs[name]
+
+    def load(self, name: str) -> Network:
+        """Build the named circuit."""
+        return self.spec(name).build()
+
+    def names(self, tags: Iterable[str] | None = None) -> list[str]:
+        """Registered names, optionally restricted to entries carrying
+        *all* of ``tags`` (size classes count as tags).
+
+        Circuits are only built (for their gate count) when the filter
+        actually asks for a size class; static-tag filters stay cheap.
+        """
+        wanted = frozenset(tags or ())
+        size_tags = {tag for tag, _ in SIZE_CLASSES}
+        selected = []
+        for name, spec in self._specs.items():
+            static = spec.tags | {spec.source}
+            remaining = wanted - static
+            if not remaining:
+                selected.append(name)
+            elif remaining <= size_tags and remaining <= spec.all_tags():
+                selected.append(name)
+        return sorted(selected)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+def _default_registry() -> Registry:
+    registry = Registry()
+    for name, builder in BENCHMARK_BUILDERS.items():
+        registry.register_generated(
+            name,
+            builder,
+            tags=_FAMILY_TAGS.get(name, ()),
+            description=(builder.__doc__ or "").strip().splitlines()[0]
+            if builder.__doc__
+            else f"generated benchmark {name!r}",
+        )
+    return registry
+
+
+_REGISTRY: Registry | None = None
+
+
+def get_registry() -> Registry:
+    """The process-wide default registry (generated suite pre-loaded)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _default_registry()
+    return _REGISTRY

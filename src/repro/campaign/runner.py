@@ -1,0 +1,248 @@
+"""Campaign runner: a (circuit x fault-class x engine) grid over a pool.
+
+The runner turns the per-circuit engines of :mod:`repro.atpg` into
+orchestrated campaigns:
+
+* **Grid expansion** — :func:`expand_grid` crosses registry circuit
+  names with fault classes into :class:`TaskSpec` cells; every cell is
+  independent and deterministic.
+* **Fan-out** — :func:`run_campaign` runs cells on a ``multiprocessing``
+  pool (``workers=1`` runs inline, which is also the debugging path).
+  Workers reconstruct each circuit themselves; the process-wide
+  :func:`repro.logic.compiled.compile_network` memo then makes every
+  later task on a structurally identical circuit reuse the compiled
+  network and its search structures, so a worker that sees the same
+  circuit for four fault classes compiles it once.
+* **Per-task timeouts** — a ``SIGALRM`` interval timer inside the
+  worker bounds each cell; a cell that overruns yields a ``timeout``
+  record instead of wedging the campaign (platforms without
+  ``SIGALRM`` run unbounded).
+* **Checkpointing** — each finished record is appended to the JSONL
+  :class:`~repro.campaign.store.ResultStore` immediately; with
+  ``resume=True`` (default) a rerun skips every task whose latest
+  stored record succeeded, so an interrupted campaign continues
+  instead of restarting.
+
+Because tasks are deterministic and records carry no worker identity,
+the *final store content* is identical (up to ``runtime_s`` and line
+order) for 1-worker and N-worker runs, and for interrupted-then-resumed
+runs — ``tests/test_campaign.py`` enforces both.
+
+Example::
+
+    >>> from repro.campaign.runner import expand_grid, run_campaign
+    >>> grid = expand_grid(["c17"], ["stuck_at"])
+    >>> result = run_campaign(grid)           # in-memory, no store
+    >>> result.records[0]["status"]
+    'ok'
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import signal
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.campaign.registry import Registry, get_registry
+from repro.circuits.generators import BENCHMARK_BUILDERS
+from repro.campaign.store import SCHEMA_VERSION, ResultStore
+from repro.campaign.tasks import DEFAULT_FAULT_CLASSES, run_fault_class
+from repro.logic.bench_format import parse_bench
+from repro.logic.network import Network
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskSpec:
+    """One grid cell.  ``bench_text`` makes externally-registered
+    netlists self-contained, so a worker process can rebuild the
+    circuit without sharing the parent's registry."""
+
+    circuit: str
+    fault_class: str
+    engine: str = "compiled"
+    bench_text: str | None = None
+
+    @property
+    def task_id(self) -> str:
+        return f"{self.circuit}/{self.fault_class}/{self.engine}"
+
+    def build_network(self) -> Network:
+        if self.bench_text is not None:
+            return parse_bench(self.bench_text, name=self.circuit)
+        return get_registry().load(self.circuit)
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Outcome of :func:`run_campaign`.
+
+    ``records`` is the latest record per task in grid order (including
+    records recovered from the store for skipped tasks)."""
+
+    records: list[dict]
+    n_run: int
+    n_skipped: int
+    store_path: Path | None
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.records if r.get("status") != "ok")
+
+
+def expand_grid(
+    circuits: Sequence[str],
+    fault_classes: Sequence[str] = DEFAULT_FAULT_CLASSES,
+    engine: str = "compiled",
+    registry: Registry | None = None,
+) -> list[TaskSpec]:
+    """Cross circuits with fault classes into grid cells (circuit-major
+    order, which is also the report's row order).
+
+    Cells are self-contained: circuits that a worker process could not
+    rebuild from the default registry — entries of a custom
+    ``registry``, or runtime registrations a spawn-started worker would
+    not inherit — are serialised to bench text here (which normalises
+    gate names to the ``g_<net>`` convention of the format).
+    """
+    from repro.logic.bench_format import write_bench
+
+    registry = registry or get_registry()
+    tasks = []
+    for circuit in circuits:
+        spec = registry.spec(circuit)  # fail fast on unknown names
+        bench_text = spec.bench_text
+        if bench_text is None and (
+            registry is not get_registry() or circuit not in BENCHMARK_BUILDERS
+        ):
+            bench_text = write_bench(spec.build())
+        for fault_class in fault_classes:
+            tasks.append(
+                TaskSpec(
+                    circuit=circuit,
+                    fault_class=fault_class,
+                    engine=engine,
+                    bench_text=bench_text,
+                )
+            )
+    return tasks
+
+
+class _TaskTimeout(Exception):
+    pass
+
+
+def _alarm(_signum, _frame):
+    raise _TaskTimeout()
+
+
+def execute_task(spec: TaskSpec, timeout: float | None = None) -> dict:
+    """Run one grid cell to a finished record (never raises for task
+    failures — errors and timeouts become record statuses)."""
+    record = {
+        "schema": SCHEMA_VERSION,
+        "task_id": spec.task_id,
+        "circuit": spec.circuit,
+        "fault_class": spec.fault_class,
+        "engine": spec.engine,
+    }
+    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
+    previous = None
+    start = time.perf_counter()
+    try:
+        if use_alarm:
+            previous = signal.signal(signal.SIGALRM, _alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+        network = spec.build_network()
+        record["circuit_stats"] = network.stats()
+        record["metrics"] = run_fault_class(
+            network, spec.fault_class, spec.engine
+        )
+        record["status"] = "ok"
+    except _TaskTimeout:
+        record["status"] = "timeout"
+        record["error"] = f"task exceeded {timeout:g}s"
+    except Exception as exc:  # noqa: BLE001 — campaign must outlive cells
+        record["status"] = "error"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    record["runtime_s"] = round(time.perf_counter() - start, 6)
+    return record
+
+
+def _pool_entry(args: tuple[TaskSpec, float | None]) -> dict:
+    spec, timeout = args
+    return execute_task(spec, timeout)
+
+
+def run_campaign(
+    tasks: Sequence[TaskSpec],
+    store: ResultStore | str | Path | None = None,
+    workers: int = 1,
+    timeout: float | None = None,
+    resume: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignResult:
+    """Run a task grid with checkpointing and resume.
+
+    Args:
+        tasks: Grid cells from :func:`expand_grid` (or hand-built).
+        store: JSONL checkpoint target; ``None`` runs purely in memory.
+        workers: Pool size; ``1`` executes inline in this process.
+        timeout: Per-task wall-clock bound in seconds.
+        resume: Skip tasks whose latest stored record is ``ok``.
+        progress: Optional sink for one-line progress messages.
+    """
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    say = progress or (lambda _line: None)
+
+    done: dict[str, dict] = {}
+    if store is not None and resume:
+        done = {
+            task_id: record
+            for task_id, record in store.latest().items()
+            if record.get("status") == "ok"
+        }
+    pending = [t for t in tasks if t.task_id not in done]
+    n_skipped = len(tasks) - len(pending)
+    if n_skipped:
+        say(f"resume: {n_skipped} task(s) already in "
+            f"{store.path if store else 'store'}, {len(pending)} to run")
+
+    fresh: dict[str, dict] = {}
+
+    def finish(record: dict) -> None:
+        fresh[record["task_id"]] = record
+        if store is not None:
+            store.append(record)
+        status = record["status"]
+        extra = "" if status == "ok" else f" ({record.get('error', '')})"
+        say(f"[{len(fresh)}/{len(pending)}] {record['task_id']}: "
+            f"{status} in {record['runtime_s']:.2f}s{extra}")
+
+    if pending:
+        if workers <= 1:
+            for spec in pending:
+                finish(execute_task(spec, timeout))
+        else:
+            context = multiprocessing.get_context()
+            with context.Pool(processes=workers) as pool:
+                payload = [(spec, timeout) for spec in pending]
+                for record in pool.imap_unordered(_pool_entry, payload):
+                    finish(record)
+
+    records = [
+        fresh.get(t.task_id) or done[t.task_id] for t in tasks
+    ]
+    return CampaignResult(
+        records=records,
+        n_run=len(pending),
+        n_skipped=n_skipped,
+        store_path=store.path if store is not None else None,
+    )

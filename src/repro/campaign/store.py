@@ -1,0 +1,116 @@
+"""JSONL result store: the campaign's checkpoint and report substrate.
+
+One line per finished task, appended and flushed as results arrive, so
+a killed campaign loses at most the record being written.  The loader
+tolerates a torn final line (the kill signature) by dropping it; a
+rerun then recomputes exactly the missing tasks and appends them —
+resume semantics fall out of the file format.
+
+Record schema (``schema: 1``) — see ``docs/CAMPAIGNS.md`` for the
+field-by-field reference::
+
+    {
+      "schema": 1,
+      "task_id": "rca4/polarity/compiled",
+      "circuit": "rca4", "fault_class": "polarity", "engine": "compiled",
+      "status": "ok",                  # or "error" / "timeout"
+      "runtime_s": 0.31,
+      "circuit_stats": {"gates": 8, "inputs": 9, "outputs": 5, ...},
+      "metrics": {...},                # fault-class specific, see tasks.py
+      "error": "..."                   # only on status != "ok"
+    }
+
+Only ``runtime_s`` is nondeterministic; :func:`strip_volatile` removes
+it so stores from different runs/worker counts compare equal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """Append-only JSONL record store with corrupt-tail tolerance."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._tail_healed = False
+
+    def _heal_torn_tail(self) -> None:
+        """Drop a trailing partial line (mid-write kill) before the
+        first append, so the file stays clean one-record-per-line JSONL.
+        The dropped record's task simply reruns."""
+        if self._tail_healed:
+            return
+        self._tail_healed = True
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        if data and not data.endswith(b"\n"):
+            keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+            with self.path.open("r+b") as raw:
+                raw.truncate(keep)
+
+    def append(self, record: dict) -> None:
+        """Append one record and flush (the checkpoint write)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._heal_torn_tail()
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    def load(self) -> list[dict]:
+        """All parseable records, in file order.
+
+        A torn trailing line (interrupted write) is skipped; a corrupt
+        line in the *middle* of the file raises, because that means the
+        store was edited, not killed.
+        """
+        if not self.path.exists():
+            return []
+        records: list[dict] = []
+        text = self.path.read_text()
+        terminated = text.endswith("\n")
+        lines = text.splitlines()
+        for k, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                # Only an *unterminated* final line is the kill
+                # signature; a newline-terminated corrupt line anywhere
+                # means the store was edited.
+                if k == len(lines) - 1 and not terminated:
+                    break
+                raise ValueError(
+                    f"{self.path}: corrupt record on line {k + 1}"
+                ) from None
+        return records
+
+    def latest(self) -> dict[str, dict]:
+        """task_id -> most recent record (reruns supersede old rows)."""
+        latest: dict[str, dict] = {}
+        for record in self.load():
+            latest[record["task_id"]] = record
+        return latest
+
+def strip_volatile(records: Iterable[dict]) -> list[dict]:
+    """Drop nondeterministic fields (``runtime_s``) so stores from
+    different runs compare equal; sorted by task id for set-like
+    comparison regardless of completion order."""
+    stripped = []
+    for record in records:
+        record = dict(record)
+        record.pop("runtime_s", None)
+        stripped.append(record)
+    return sorted(stripped, key=lambda r: r["task_id"])
+
+
+def stores_equal(a: Sequence[dict], b: Sequence[dict]) -> bool:
+    """Record-set equality up to volatile fields and completion order."""
+    return strip_volatile(a) == strip_volatile(b)

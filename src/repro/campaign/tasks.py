@@ -1,0 +1,189 @@
+"""Fault-class task implementations: one (circuit, fault class) cell.
+
+Each runner takes a built :class:`~repro.logic.network.Network` and the
+PODEM ``engine`` selector and returns a flat, JSON-serialisable metrics
+dict — the payload of one campaign record.  All runners are
+deterministic: the same circuit and engine produce bit-identical
+metrics in any process, which is what lets the campaign runner promise
+identical stores for 1-worker and N-worker runs.
+
+The four registered fault classes mirror the paper's Section 5:
+
+``stuck_at``
+    Classic PODEM with bit-parallel fault dropping + greedy compaction,
+    then a full fault-simulation pass of the compacted set (Sec. V-A).
+``polarity``
+    The paper's headline gap: how many polarity bridges the classic
+    stuck-at set detects at the outputs (escapes), vs. the polarity-
+    aware ATPG's voltage/IDDQ coverage (Sec. V-B).
+``iddq``
+    Greedy compact IDDQ screening-vector selection (Sec. V-B).
+``stuck_open``
+    Channel-break census: DP-masked sites needing the polarity-
+    inversion procedure, plus two-pattern SOF ATPG with fault dropping
+    on the testable remainder (Sec. V-C).
+
+Registering a new fault class is one dict entry::
+
+    >>> from repro.campaign.tasks import TASK_RUNNERS
+    >>> sorted(TASK_RUNNERS)
+    ['iddq', 'polarity', 'stuck_at', 'stuck_open']
+
+Example (runs in a few milliseconds)::
+
+    >>> from repro.campaign.registry import get_registry
+    >>> metrics = run_fault_class(get_registry().load("c17"), "stuck_at")
+    >>> metrics["coverage"] == 1.0 and metrics["n_vectors"] > 0
+    True
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.atpg.compaction import compact_tests
+from repro.atpg.fault_sim import (
+    parallel_polarity_simulation,
+    parallel_stuck_at_simulation,
+)
+from repro.atpg.faults import (
+    polarity_faults,
+    stuck_at_faults,
+    stuck_open_faults,
+)
+from repro.atpg.iddq import select_iddq_vectors
+from repro.atpg.podem import run_stuck_at_atpg
+from repro.atpg.polarity_atpg import run_polarity_atpg
+from repro.atpg.sof_atpg import run_sof_atpg
+from repro.logic.network import Network
+
+TaskRunner = Callable[[Network, str], dict]
+
+
+def classic_stuck_at_testset(
+    network: Network, max_backtracks: int = 500, engine: str = "compiled"
+) -> list[dict[str, int]]:
+    """PODEM with fault dropping + greedy compaction: the classic
+    production test set (the baseline every escape metric is against).
+    """
+    faults = stuck_at_faults(network)
+    atpg = run_stuck_at_atpg(network, faults, max_backtracks, engine=engine)
+    compacted = compact_tests(network, atpg.tests, faults)
+    return compacted.vectors
+
+
+def run_stuck_at_task(network: Network, engine: str = "compiled") -> dict:
+    """Sec. V-A baseline: full stuck-at ATPG + compaction + fault sim."""
+    faults = stuck_at_faults(network)
+    atpg = run_stuck_at_atpg(network, faults, engine=engine)
+    compacted = compact_tests(network, atpg.tests, faults)
+    sim = parallel_stuck_at_simulation(network, faults, compacted.vectors)
+    return {
+        "n_faults": len(faults),
+        "n_tests_generated": len(atpg.tests),
+        "n_vectors": len(compacted.vectors),
+        "coverage": sim.coverage,
+        "n_untestable": len(atpg.untestable),
+        "n_aborted": len(atpg.aborted),
+        "backtracks": atpg.total_backtracks,
+    }
+
+
+def run_polarity_task(network: Network, engine: str = "compiled") -> dict:
+    """Sec. V-B gap: polarity escapes of the classic set vs. the
+    polarity-aware ATPG.  Circuits without DP gates report ``None``
+    coverages (rendered as ``n/a``)."""
+    faults = polarity_faults(network)
+    if not faults:
+        return {
+            "n_faults": 0,
+            "coverage_by_stuck_at_set": None,
+            "n_escapes": 0,
+            "atpg_coverage": None,
+            "n_voltage_tests": 0,
+            "n_iddq_tests": 0,
+            "n_untestable": 0,
+        }
+    sa_set = classic_stuck_at_testset(network, engine=engine)
+    by_sa = parallel_polarity_simulation(network, faults, sa_set)
+    atpg = run_polarity_atpg(network, faults, engine=engine)
+    modes: dict[str, int] = {}
+    for test in atpg.tests:
+        modes[test.mode] = modes.get(test.mode, 0) + 1
+    return {
+        "n_faults": len(faults),
+        "coverage_by_stuck_at_set": by_sa.coverage,
+        "n_escapes": len(by_sa.undetected),
+        "atpg_coverage": atpg.coverage,
+        "n_voltage_tests": modes.get("voltage", 0),
+        "n_iddq_tests": modes.get("iddq", 0),
+        "n_untestable": len(atpg.untestable),
+    }
+
+
+def run_iddq_task(network: Network, engine: str = "compiled") -> dict:
+    """Sec. V-B screening: greedy compact IDDQ vector selection."""
+    faults = polarity_faults(network)
+    if not faults:
+        return {
+            "n_faults": 0,
+            "n_vectors": 0,
+            "coverage": None,
+            "n_detected": 0,
+            "n_uncovered": 0,
+        }
+    selection = select_iddq_vectors(network, faults, engine=engine)
+    return {
+        "n_faults": len(faults),
+        "n_vectors": len(selection.vectors),
+        "coverage": selection.coverage,
+        "n_detected": len(selection.covered),
+        "n_uncovered": len(selection.uncovered),
+    }
+
+
+def run_stuck_open_task(network: Network, engine: str = "compiled") -> dict:
+    """Sec. V-C census: masked channel breaks + two-pattern SOF ATPG
+    with fault dropping on the testable remainder."""
+    faults = stuck_open_faults(network)
+    atpg = run_sof_atpg(network, faults, drop_detected=True, engine=engine)
+    return {
+        "n_faults": len(faults),
+        "n_masked": len(atpg.masked),
+        "n_tests": len(atpg.tests),
+        "n_dropped": len(atpg.dropped),
+        "n_untestable": len(atpg.untestable),
+        "coverage": atpg.coverage,
+    }
+
+
+#: Fault-class name -> runner.  Tests and downstream users may add
+#: entries; campaign workers resolve the name in their own process.
+#: Caveat: runtime registrations reach workers only under the ``fork``
+#: start method (Linux default) — ``spawn``-started workers re-import
+#: this module fresh, so on those platforms custom classes must be
+#: registered at import time or run with ``workers=1``.
+TASK_RUNNERS: dict[str, TaskRunner] = {
+    "stuck_at": run_stuck_at_task,
+    "polarity": run_polarity_task,
+    "iddq": run_iddq_task,
+    "stuck_open": run_stuck_open_task,
+}
+
+#: Grid default: the registration order above mirrors the paper's
+#: Section 5 narrative.
+DEFAULT_FAULT_CLASSES: tuple[str, ...] = tuple(TASK_RUNNERS)
+
+
+def run_fault_class(
+    network: Network, fault_class: str, engine: str = "compiled"
+) -> dict:
+    """Dispatch one (circuit, fault class) cell to its runner."""
+    try:
+        runner = TASK_RUNNERS[fault_class]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault class {fault_class!r}; "
+            f"available: {sorted(TASK_RUNNERS)}"
+        ) from None
+    return runner(network, engine)
