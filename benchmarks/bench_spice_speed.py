@@ -1,0 +1,345 @@
+"""Sequential vs batched analog engine: SPICE measurement wall-clock.
+
+Times the three measurement workloads the paper's electrical observables
+hang off (Section III-D / V-A / V-B), each through the point-at-a-time
+scalar path and the batched multi-point Newton engine:
+
+* ``truth_table`` — DC truth tables over the full Fig. 2 cell library
+  (the scalar baseline rebuilds an ``MNASystem`` and runs a cold gmin
+  ladder per input vector, exactly like the seed code did),
+* ``fig5_vcut`` — a Fig. 5 floating-polarity-gate sweep (DC grid over
+  every (Vcut, vector) pair plus one delay transient per Vcut point),
+* ``iddq_screen`` — a defect-screening IDDQ pass (worst static supply
+  current over all vectors, per injected fault, in exact mode).
+
+Each workload asserts batched == sequential observables (node voltages
+to <= 1e-9 V, currents to 1e-6 relative) before its speedup counts, and
+the record lands in ``BENCH_spice.json`` at the repository root
+(schema-versioned like ``BENCH_atpg.json``; CI uploads it as an
+artifact).
+
+Dual-mode: run under pytest (``pytest benchmarks/bench_spice_speed.py``)
+for the full bars, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_spice_speed.py [--smoke]
+
+``--smoke`` is the CI perf-regression gate: one timing round and
+relaxed bars so shared-runner jitter cannot fail a healthy build, while
+a real regression (batched ~ sequential) still does.
+"""
+
+import argparse
+import itertools
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import save_report
+from repro.analysis.report import ascii_table
+from repro.analysis.sweeps import pull_up_vcut_axis, vcut_sweep
+from repro.core.fault_models import (
+    ChannelBreakFault,
+    StuckAtNType,
+    StuckAtPType,
+)
+from repro.gates import ALL_CELLS, build_cell_circuit
+from repro.spice import solve_dc, solve_dc_sweep
+
+#: Required batched-over-sequential speedup per workload (full run).
+SPEEDUP_BARS = {"truth_table": 5.0, "fig5_vcut": 3.0, "iddq_screen": 2.0}
+#: Relaxed CI bars (--smoke): a healthy build clears these with margin.
+SMOKE_BARS = {"truth_table": 2.5, "fig5_vcut": 1.5, "iddq_screen": 1.2}
+V_TOLERANCE = 1e-9
+I_REL_TOLERANCE = 1e-6
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_spice.json"
+
+IDDQ_FAULTS = (
+    StuckAtNType("t1"),
+    StuckAtPType("t3"),
+    ChannelBreakFault("t1"),
+)
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+# ---------------------------------------------------------------------------
+# Workload 1: full-library DC truth tables
+# ---------------------------------------------------------------------------
+
+def _truth_table_sequential(benches):
+    """Seed-style scalar loop: fresh MNASystem + cold solve per vector."""
+    tables = {}
+    for name, bench, vectors in benches:
+        table = {}
+        for vector in vectors:
+            bench.set_vector(vector)
+            op = solve_dc(bench.circuit)
+            table[vector] = op
+        tables[name] = table
+    return tables
+
+
+def _truth_table_batched(benches):
+    sweeps = {}
+    for name, bench, vectors in benches:
+        sweeps[name] = solve_dc_sweep(
+            bench.circuit,
+            [bench.vector_bias(v) for v in vectors],
+            mode="fast",
+        )
+    return sweeps
+
+
+def run_truth_table(repeats):
+    benches = []
+    for name, cell in sorted(ALL_CELLS.items()):
+        bench = build_cell_circuit(cell, fanout=4)
+        vectors = list(itertools.product((0, 1), repeat=cell.n_inputs))
+        benches.append((name, bench, vectors))
+    t_seq, sequential = _best_of(
+        lambda: _truth_table_sequential(benches), repeats
+    )
+    t_bat, batched = _best_of(lambda: _truth_table_batched(benches), repeats)
+
+    worst_dv = 0.0
+    worst_di = 0.0
+    n_points = 0
+    for name, _bench, vectors in benches:
+        sweep = batched[name]
+        for k, vector in enumerate(vectors):
+            op = sequential[name][vector]
+            n_points += 1
+            for node, value in op.voltages.items():
+                worst_dv = max(
+                    worst_dv, abs(value - float(sweep.voltages(node)[k]))
+                )
+            for src, value in op.source_currents.items():
+                delta = abs(value - float(sweep.source_currents(src)[k]))
+                worst_di = max(worst_di, delta / max(abs(value), 1e-15))
+    assert worst_dv <= V_TOLERANCE, worst_dv
+    assert worst_di <= I_REL_TOLERANCE, worst_di
+    return {
+        "workload": "truth_table",
+        "detail": f"{len(benches)} cells, {n_points} bias points",
+        "points": n_points,
+        "worst_dv": worst_dv,
+        "worst_di_rel": worst_di,
+        "sequential_ms": t_seq * 1e3,
+        "batched_ms": t_bat * 1e3,
+        "speedup": t_seq / t_bat,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Workload 2: Fig. 5 Vcut sweep
+# ---------------------------------------------------------------------------
+
+def run_fig5(repeats):
+    cell = ALL_CELLS["INV"]
+    axis = pull_up_vcut_axis(points=8)
+    t_seq, sequential = _best_of(
+        lambda: vcut_sweep(cell, "t1", "pgs", axis, engine="sequential"),
+        repeats,
+    )
+    t_bat, batched = _best_of(
+        lambda: vcut_sweep(cell, "t1", "pgs", axis, engine="batched"),
+        repeats,
+    )
+    worst_dv = 0.0
+    for p, q in zip(sequential.points, batched.points):
+        assert p.functional == q.functional, p.vcut
+        assert math.isfinite(p.delay) == math.isfinite(q.delay), p.vcut
+        if math.isfinite(p.delay):
+            worst_dv = max(worst_dv, abs(p.delay - q.delay) / max(p.delay, 1e-15))
+        worst_dv = max(
+            worst_dv, abs(p.leakage - q.leakage) / max(p.leakage, 1e-15)
+        )
+    assert worst_dv <= I_REL_TOLERANCE, worst_dv
+    return {
+        "workload": "fig5_vcut",
+        "detail": "INV t1/pgs, 8 Vcut points (DC grid + delay transients)",
+        "points": len(axis),
+        "worst_rel_observable": worst_dv,
+        "sequential_ms": t_seq * 1e3,
+        "batched_ms": t_bat * 1e3,
+        "speedup": t_seq / t_bat,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Workload 3: defect-screening IDDQ pass
+# ---------------------------------------------------------------------------
+
+def _iddq_cases():
+    cases = []
+    for name, cell in sorted(ALL_CELLS.items()):
+        for fault in IDDQ_FAULTS:
+            bench = build_cell_circuit(cell, fanout=4)
+            fault.apply(bench)
+            vectors = list(
+                itertools.product((0, 1), repeat=cell.n_inputs)
+            )
+            cases.append((f"{name}:{fault.describe()}", bench, vectors))
+    return cases
+
+
+def _iddq_sequential(cases):
+    worst = {}
+    for label, bench, vectors in cases:
+        iddq = 0.0
+        for vector in vectors:
+            bench.set_vector(vector)
+            op = solve_dc(bench.circuit)
+            iddq = max(iddq, op.supply_current("vdd"))
+        worst[label] = iddq
+    return worst
+
+
+def _iddq_batched(cases):
+    worst = {}
+    for label, bench, vectors in cases:
+        sweep = solve_dc_sweep(
+            bench.circuit,
+            [bench.vector_bias(v) for v in vectors],
+            mode="exact",
+        )
+        worst[label] = float(sweep.supply_currents("vdd").max())
+    return worst
+
+
+def run_iddq(repeats):
+    cases = _iddq_cases()
+    t_seq, sequential = _best_of(lambda: _iddq_sequential(cases), repeats)
+    t_bat, batched = _best_of(lambda: _iddq_batched(cases), repeats)
+    worst_di = max(
+        abs(sequential[label] - batched[label])
+        / max(abs(sequential[label]), 1e-15)
+        for label in sequential
+    )
+    assert worst_di <= I_REL_TOLERANCE, worst_di
+    return {
+        "workload": "iddq_screen",
+        "detail": f"{len(cases)} (cell, fault) screens, exact mode",
+        "points": sum(len(v) for _, _, v in cases),
+        "worst_di_rel": worst_di,
+        "sequential_ms": t_seq * 1e3,
+        "batched_ms": t_bat * 1e3,
+        "speedup": t_seq / t_bat,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Record / report plumbing
+# ---------------------------------------------------------------------------
+
+def run_workloads(repeats=3):
+    return [
+        run_truth_table(repeats),
+        run_fig5(repeats),
+        run_iddq(repeats),
+    ]
+
+
+def format_report(records):
+    rows = [
+        (
+            r["workload"], r["detail"], r["points"],
+            f"{r['sequential_ms']:.1f}", f"{r['batched_ms']:.1f}",
+            f"x{r['speedup']:.1f}",
+        )
+        for r in records
+    ]
+    return "\n".join([
+        "SPICE measurement wall-clock: scalar point-at-a-time vs batched "
+        "multi-point Newton",
+        ascii_table(
+            ("workload", "detail", "points", "sequential ms",
+             "batched ms", "speedup"),
+            rows,
+        ),
+        "",
+        "Observables agree to <= 1e-9 V / 1e-6 relative current on every",
+        "workload before a speedup is counted; the batched engine stacks",
+        "all bias points into one (B, n, n) Newton loop and integrates",
+        "delay transients in lockstep.",
+    ])
+
+
+def write_record(records, bars, path=RECORD_PATH):
+    record = {
+        "benchmark": "spice_speed",
+        "schema_version": 1,
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "python": sys.version.split()[0],
+        "engine": "batched multi-point Newton (spice/batched.py) vs "
+                  "scalar per-point solves",
+        "workload": "full-library DC truth tables, Fig. 5 Vcut sweep, "
+                    "defect-screening IDDQ pass",
+        "tolerances": {
+            "voltage_v": V_TOLERANCE,
+            "current_rel": I_REL_TOLERANCE,
+        },
+        "speedup_bars": bars,
+        "records": records,
+    }
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+def check_bars(records, bars):
+    failures = []
+    for r in records:
+        bar = bars.get(r["workload"])
+        if bar is not None and r["speedup"] < bar:
+            failures.append(
+                f"{r['workload']}: x{r['speedup']:.1f} below the "
+                f"{bar:.1f}x bar"
+            )
+    return failures
+
+
+def test_spice_speed(once):
+    records = once(run_workloads)
+    report = format_report(records)
+    print("\n" + report)
+    save_report("spice_speed", report)
+    write_record(records, SPEEDUP_BARS)
+    failures = check_bars(records, SPEEDUP_BARS)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: single timing round, relaxed bars",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=RECORD_PATH,
+        help="perf-record path (default: repo-root BENCH_spice.json)",
+    )
+    args = parser.parse_args(argv)
+    bars = SMOKE_BARS if args.smoke else SPEEDUP_BARS
+    records = run_workloads(repeats=1 if args.smoke else 3)
+    print(format_report(records))
+    path = write_record(records, bars, args.out)
+    print(f"\nperf record -> {path}")
+    failures = check_bars(records, bars)
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

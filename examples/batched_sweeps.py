@@ -1,0 +1,14 @@
+"""Batched analog engine: vectorized DC sweeps and lockstep transients.
+
+Thin wrapper over ``python -m repro demo batched-sweeps``; the
+walkthrough itself lives in
+:func:`repro.analysis.demos.demo_batched_sweeps` so this script and the
+CLI cannot drift.
+
+Run:  python examples/batched_sweeps.py
+"""
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["demo", "batched-sweeps"]))

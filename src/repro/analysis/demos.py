@@ -306,6 +306,89 @@ def demo_atpg_flow() -> None:
     print("checkpointing and workers:  python -m repro paper-tables")
 
 
+def demo_batched_sweeps() -> None:
+    """The batched analog engine: one Newton loop, many bias points.
+
+    Walks the three moves that make SPICE-level measurement
+    campaign-scale (see ``docs/PERFORMANCE.md``):
+
+    1. a full XOR2 DC truth table as *one* ``solve_dc_sweep`` call —
+       every input vector is a row of a ``(B, n, n)`` Jacobian stack —
+       checked against the scalar point-at-a-time reference,
+    2. a miniature Fig. 5 ``Vcut`` sweep whose delay transients
+       integrate in lockstep (``run_transient_sweep``),
+    3. the process-level compact-model memo: injecting the same defect
+       twice builds the device once.
+    """
+    import time
+
+    from repro.analysis.sweeps import pull_up_vcut_axis, vcut_sweep
+    from repro.device import clear_model_caches, model_cache_stats
+    from repro.gates import XOR2, build_cell_circuit, get_cell
+    from repro.spice import solve_dc, solve_dc_sweep
+
+    # 1. Truth table: scalar loop vs one batched call.
+    bench = build_cell_circuit(XOR2, fanout=4)
+    vdd = bench.vdd
+    vectors = [(0, 0), (0, 1), (1, 0), (1, 1)]
+    t0 = time.perf_counter()
+    scalar = []
+    for vector in vectors:
+        bench.set_vector(vector)
+        scalar.append(solve_dc(bench.circuit))
+    t_scalar = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sweep = solve_dc_sweep(
+        bench.circuit, [bench.vector_bias(v) for v in vectors]
+    )
+    t_batched = time.perf_counter() - t0
+    print("XOR2 truth table, scalar vs batched (one Newton loop):")
+    worst = 0.0
+    for k, vector in enumerate(vectors):
+        v_seq = scalar[k].voltage("out")
+        v_bat = float(sweep.voltages("out")[k])
+        worst = max(worst, abs(v_seq - v_bat))
+        print(f"  A,B={vector}: out = {v_bat:6.3f} V   "
+              f"(scalar {v_seq:6.3f} V)")
+    print(f"  worst |dV| = {worst:.1e} V, "
+          f"{t_scalar * 1e3:.0f} ms -> {t_batched * 1e3:.0f} ms "
+          f"(x{t_scalar / max(t_batched, 1e-9):.1f})")
+
+    # 2. Mini Fig. 5: the Vcut delay transients run in lockstep.
+    cell = get_cell("INV")
+    axis = pull_up_vcut_axis(vdd, points=4)
+    t0 = time.perf_counter()
+    result = vcut_sweep(cell, "t1", "pgs", axis, engine="batched")
+    t_sweep = time.perf_counter() - t0
+    print(f"\nINV t1/pgs Vcut sweep ({len(axis)} points, batched, "
+          f"{t_sweep * 1e3:.0f} ms):")
+    for p in result.points:
+        delay = (
+            f"{p.delay * 1e12:6.1f} ps" if p.delay < 1 else "   stuck"
+        )
+        print(f"  Vcut={p.vcut:4.2f} V: delay {delay}, "
+              f"IDDQ {p.leakage * 1e12:8.1f} pA, "
+              f"functional={p.functional}")
+
+    # 3. The model memo: same (params, defect) -> same instance.
+    from repro.core.fault_models import GOSFault
+
+    clear_model_caches()
+    bench_a = build_cell_circuit(XOR2, fanout=4)
+    bench_b = build_cell_circuit(XOR2, fanout=4)
+    GOSFault("t1", "pgs").apply(bench_a)
+    GOSFault("t1", "pgs").apply(bench_b)
+    stats = model_cache_stats()
+    shared = (
+        bench_a.circuit.devices["xor2.t1"].model
+        is bench_b.circuit.devices["xor2.t1"].model
+    )
+    print(f"\nmodel memo: device hits={stats['device_hits']}, "
+          f"misses={stats['device_misses']}; "
+          f"two GOS injections share one instance: {shared}")
+    assert shared
+
+
 #: name -> demo; keys match ``repro demo`` choices and examples/*.py.
 DEMOS = {
     "quickstart": demo_quickstart,
@@ -313,4 +396,5 @@ DEMOS = {
     "iddq-screening": demo_iddq_screening,
     "channel-break": demo_channel_break,
     "atpg-flow": demo_atpg_flow,
+    "batched-sweeps": demo_batched_sweeps,
 }

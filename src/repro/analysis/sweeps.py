@@ -7,6 +7,16 @@ float one (or both) of its polarity-gate terminals at a swept voltage
 * the worst static supply current over all input vectors (leakage),
 * the propagation delay of a representative output transition,
 * whether the DC truth table still holds (functionality).
+
+The default engine batches the whole sweep: one testbench and one
+:class:`~repro.spice.mna.MNASystem` are shared across every ``Vcut``
+point (the floating-node source level is just a per-point bias), the
+``len(vcuts) * 2**n_inputs`` DC operating points solve as a single
+vectorized multi-point Newton call, and the per-point delay transients
+integrate in lockstep through one batched backward-Euler loop.
+``engine="sequential"`` preserves the original point-at-a-time path
+(fresh testbench and scalar solves per ``Vcut``) as the equivalence
+reference.
 """
 
 from __future__ import annotations
@@ -25,8 +35,10 @@ from repro.core.classify import (
 from repro.core.fault_models import FloatingPolarityGate
 from repro.gates.builder import build_cell_circuit
 from repro.gates.cell import Cell
+from repro.spice.batched import run_transient_sweep, solve_dc_sweep
 from repro.spice.dc import solve_dc
 from repro.spice.measure import logic_level, propagation_delay
+from repro.spice.mna import MNASystem
 from repro.spice.transient import run_transient
 from repro.spice.waveforms import Step
 
@@ -113,16 +125,6 @@ def _default_transition(cell: Cell, transistor: str) -> tuple[str, dict, bool]:
     return input_name, others, rising
 
 
-def _is_functional(bench) -> bool:
-    reference = bench.cell.truth_table()
-    for vector in itertools.product((0, 1), repeat=bench.cell.n_inputs):
-        bench.set_vector(vector)
-        op = solve_dc(bench.circuit)
-        if logic_level(op.voltage("out"), bench.vdd) != reference[vector]:
-            return False
-    return True
-
-
 def vcut_sweep(
     cell: Cell,
     transistor: str,
@@ -131,6 +133,7 @@ def vcut_sweep(
     fanout: int = 4,
     dt: float = 2.5e-12,
     t_stop: float = 1.4e-9,
+    engine: str = "batched",
 ) -> VcutSweep:
     """Run the Fig. 5 measurement for one transistor/terminal case.
 
@@ -142,7 +145,87 @@ def vcut_sweep(
         vcuts: Floating-node voltages to sweep.  By convention the first
             entry should be the fault-free bias (0 for pull-up SP
             devices, VDD for pull-down) so ratios are referenced to it.
+        engine: ``"batched"`` (default) solves every (Vcut, vector) DC
+            point in one vectorized call and every delay transient in
+            one lockstep sweep; ``"sequential"`` runs the original
+            point-at-a-time measurement.
     """
+    if engine == "sequential":
+        return _vcut_sweep_sequential(
+            cell, transistor, terminal, vcuts, fanout, dt, t_stop
+        )
+    if engine != "batched":
+        raise ValueError(f"unknown engine {engine!r}")
+    input_name, others, rising = _default_transition(cell, transistor)
+    bench = build_cell_circuit(cell, fanout=fanout)
+    FloatingPolarityGate(transistor, terminal, float(vcuts[0])).apply(bench)
+    vcut_sources = sorted(
+        name for name in bench.circuit.vsources if name.startswith("vcut_")
+    )
+    vdd = bench.vdd
+    reference = cell.truth_table()
+    vectors = list(itertools.product((0, 1), repeat=cell.n_inputs))
+    system = MNASystem(bench.circuit)
+
+    # Leakage + functionality: one batched solve over every
+    # (Vcut, input vector) pair.
+    bias_points = []
+    for vcut in vcuts:
+        for vector in vectors:
+            point = bench.vector_bias(vector)
+            point.update({name: float(vcut) for name in vcut_sources})
+            bias_points.append(point)
+    sweep = solve_dc_sweep(bench.circuit, bias_points, system=system)
+    iddq = sweep.supply_currents("vdd").reshape(len(vcuts), len(vectors))
+    v_out = sweep.voltages("out").reshape(len(vcuts), len(vectors))
+    leakages = iddq.max(axis=1)
+    functional = [
+        all(
+            logic_level(float(v_out[i, k]), vdd) == reference[vector]
+            for k, vector in enumerate(vectors)
+        )
+        for i in range(len(vcuts))
+    ]
+
+    # Delay of the representative transition: all Vcut points integrate
+    # in lockstep, differing only in the floating-node source level.
+    for name, bit in others.items():
+        bench.set_input(name, bit * vdd)
+    v0, v1 = (0.0, vdd) if rising else (vdd, 0.0)
+    bench.set_input(input_name, Step(v0, v1, 0.2e-9, 2e-11))
+    overrides = [
+        {name: float(vcut) for name in vcut_sources} for vcut in vcuts
+    ]
+    results = run_transient_sweep(
+        bench.circuit, overrides, t_stop, dt, system=system
+    )
+    points = [
+        VcutPoint(
+            vcut=float(vcut),
+            delay=propagation_delay(results[i], input_name, "out", vdd),
+            leakage=float(leakages[i]),
+            functional=bool(functional[i]),
+        )
+        for i, vcut in enumerate(vcuts)
+    ]
+    return VcutSweep(
+        cell_name=cell.name,
+        transistor=transistor,
+        terminal=terminal,
+        points=tuple(points),
+    )
+
+
+def _vcut_sweep_sequential(
+    cell: Cell,
+    transistor: str,
+    terminal: str,
+    vcuts: np.ndarray | list[float],
+    fanout: int,
+    dt: float,
+    t_stop: float,
+) -> VcutSweep:
+    """Point-at-a-time Fig. 5 measurement (the equivalence reference)."""
     input_name, others, rising = _default_transition(cell, transistor)
     points: list[VcutPoint] = []
     for vcut in vcuts:

@@ -56,7 +56,7 @@ EXPERIMENT_NAMES: tuple[str, ...] = (
 )
 DEMO_NAMES: tuple[str, ...] = (
     "quickstart", "device-characterization", "iddq-screening",
-    "channel-break", "atpg-flow",
+    "channel-break", "atpg-flow", "batched-sweeps",
 )
 
 

@@ -23,13 +23,13 @@ from __future__ import annotations
 import abc
 import dataclasses
 
+from repro.device.cache import cached_device
 from repro.device.defects import (
     ChannelBreak,
     GateOxideShort,
     ParameterDrift,
 )
 from repro.device.params import DEFAULT_PARAMS
-from repro.device.tig_model import TIGSiNWFET
 from repro.gates.builder import Testbench
 from repro.logic.switch_level import DeviceState
 
@@ -146,8 +146,8 @@ class GOSFault(CircuitFault):
 
     def apply(self, bench: Testbench) -> None:
         params = DEFAULT_PARAMS
-        model = TIGSiNWFET(
-            params, defect=GateOxideShort(self.location, self.severity)
+        model = cached_device(
+            params, GateOxideShort(self.location, self.severity)
         )
         bench.circuit.replace_device_model(
             bench.device_name(self.transistor), model
@@ -165,8 +165,8 @@ class ChannelBreakFault(CircuitFault):
     fraction: float = 1.0
 
     def apply(self, bench: Testbench) -> None:
-        model = TIGSiNWFET(
-            DEFAULT_PARAMS, defect=ChannelBreak(self.fraction)
+        model = cached_device(
+            DEFAULT_PARAMS, ChannelBreak(self.fraction)
         )
         bench.circuit.replace_device_model(
             bench.device_name(self.transistor), model
@@ -258,8 +258,8 @@ class DriveDriftFault(CircuitFault):
     i_on_factor: float = 0.5
 
     def apply(self, bench: Testbench) -> None:
-        model = TIGSiNWFET(
-            DEFAULT_PARAMS, defect=ParameterDrift(i_on_factor=self.i_on_factor)
+        model = cached_device(
+            DEFAULT_PARAMS, ParameterDrift(i_on_factor=self.i_on_factor)
         )
         bench.circuit.replace_device_model(
             bench.device_name(self.transistor), model

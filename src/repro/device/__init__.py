@@ -7,6 +7,12 @@ circuit simulation.  See DESIGN.md section 2 for the substitution
 rationale.
 """
 
+from repro.device.cache import (
+    cached_device,
+    cached_table_model,
+    clear_model_caches,
+    model_cache_stats,
+)
 from repro.device.defects import (
     ChannelBreak,
     DeviceDefect,
@@ -44,7 +50,11 @@ __all__ = [
     "TIGSiNWFET",
     "TableModel",
     "TransferCurve",
+    "cached_device",
+    "cached_table_model",
+    "clear_model_caches",
     "compare_to_fault_free",
+    "model_cache_stats",
     "id_sat",
     "on_off_ratio",
     "subthreshold_slope",

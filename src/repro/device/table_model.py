@@ -61,16 +61,20 @@ class TableModel:
         low = np.geomspace(1e-4, 0.1, n_low, endpoint=False)
         high = np.linspace(0.1, vdd + margin, n_high)
         self._vds_axis = np.concatenate([low, high])
-        grids = np.meshgrid(
-            self._v_axis,
-            self._v_axis,
-            self._v_axis,
-            self._vds_axis,
-            indexing="ij",
-        )
-        v_cg, v_pgs, v_pgd, v_ds = grids
+        # One vectorised evaluation over the whole 4-D grid: open
+        # (broadcastable) axis views instead of materialised meshgrid
+        # copies, so the only full-size allocations are the model's own
+        # intermediates and the stored table itself.
+        v_cg = self._v_axis[:, None, None, None]
+        v_pgs = self._v_axis[None, :, None, None]
+        v_pgd = self._v_axis[None, None, :, None]
+        v_ds = self._vds_axis[None, None, None, :]
         i_d = np.asarray(
-            device.drain_current(v_cg, v_pgs, v_pgd, v_ds, 0.0), dtype=float
+            np.broadcast_to(
+                device.drain_current(v_cg, v_pgs, v_pgd, v_ds, 0.0),
+                (grid_points, grid_points, grid_points, len(self._vds_axis)),
+            ),
+            dtype=float,
         )
         # Store as signed log-magnitude of the VDS-normalised current:
         # dividing out the known triode-to-saturation shape removes the

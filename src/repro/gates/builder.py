@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.device.cache import cached_device, cached_table_model
 from repro.device.params import DEFAULT_PARAMS, DeviceParameters
-from repro.device.tig_model import TIGSiNWFET
 from repro.gates.cell import Cell
 from repro.gates.library import INV
 from repro.spice.netlist import Circuit
@@ -61,6 +61,26 @@ class Testbench:
             )
         for name, bit in zip(self.cell.inputs, vector):
             self.set_input(name, bit * self.vdd)
+
+    def vector_bias(self, vector: tuple[int, ...]) -> dict[str, float]:
+        """Source levels of a static logic vector, as a bias point.
+
+        The returned mapping (input sources plus their tracking
+        complements) feeds :func:`repro.spice.batched.solve_dc_sweep`
+        without mutating any waveform — the batched equivalent of
+        :meth:`set_vector`.
+        """
+        if len(vector) != self.cell.n_inputs:
+            raise ValueError(
+                f"{self.cell.name} expects {self.cell.n_inputs} bits"
+            )
+        point: dict[str, float] = {}
+        for name, bit in zip(self.cell.inputs, vector):
+            level = bit * self.vdd
+            point[f"vin_{name}"] = level
+            if f"vin_{name}_n" in self.circuit.vsources:
+                point[f"vin_{name}_n"] = self.vdd - level
+        return point
 
 
 def _instantiate_cell(
@@ -125,6 +145,7 @@ def build_cell_circuit(
     model: object | None = None,
     params: DeviceParameters = DEFAULT_PARAMS,
     extra_load_capacitance: float = 0.0,
+    use_table_model: bool = False,
 ) -> Testbench:
     """Build the standard characterisation testbench for ``cell``.
 
@@ -132,13 +153,23 @@ def build_cell_circuit(
         cell: Cell under test.
         input_waveforms: Optional drive per input name; defaults to 0 V.
         fanout: Number of INV loads on the output (0 disables).
-        model: Compact model shared by all fault-free devices; defaults to
-            a fresh fault-free :class:`TIGSiNWFET`.
+        model: Compact model shared by all fault-free devices; defaults
+            to the process-memoised fault-free
+            :class:`~repro.device.tig_model.TIGSiNWFET` for ``params``.
         params: Device parameters (used for parasitics and VDD).
         extra_load_capacitance: Additional lumped load on ``out``.
+        use_table_model: Simulate with the sampled look-up-table model
+            (the paper's Verilog-A stand-in) instead of the analytic
+            device.  The 4-D grid is sampled once per process and
+            memoised via
+            :func:`~repro.device.cache.cached_table_model`.
     """
     if model is None:
-        model = TIGSiNWFET(params)
+        model = (
+            cached_table_model(params)
+            if use_table_model
+            else cached_device(params)
+        )
     vdd = params.vdd
     circuit = Circuit(f"{cell.name}_tb")
     circuit.add_vsource("vdd", "vdd", "0", vdd)

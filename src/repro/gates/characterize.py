@@ -3,6 +3,15 @@
 These are the measurement routines behind the paper's Fig. 5 experiments
 and behind the library's own validation tests (every cell's DC truth
 table must match its reference Boolean function).
+
+All DC measurements run through the batched analog engine by default:
+one shared :class:`~repro.spice.mna.MNASystem` and one vectorized
+multi-point Newton solve over every input vector, instead of a fresh
+system assembly and scalar solve per vector.  ``engine="sequential"``
+keeps a scalar path that still shares one system and warm-starts each
+Gray-code-adjacent vector from the previous solution (adjacent vectors
+differ in one input, so the previous operating point is an excellent
+initial guess).
 """
 
 from __future__ import annotations
@@ -13,10 +22,16 @@ import itertools
 from repro.device.params import DEFAULT_PARAMS, DeviceParameters
 from repro.gates.builder import Testbench, build_cell_circuit
 from repro.gates.cell import Cell
+from repro.spice.batched import (
+    DCSweepResult,
+    run_transient_sweep,
+    solve_dc_sweep,
+)
 from repro.spice.dc import solve_dc
 from repro.spice.measure import logic_level, propagation_delay
+from repro.spice.mna import MNASystem
 from repro.spice.transient import run_transient
-from repro.spice.waveforms import Step
+from repro.spice.waveforms import Complement, DC, Step
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,42 +45,136 @@ class GateCharacterisation:
     output_levels: dict[tuple[int, ...], float]
 
 
+def all_vectors(cell: Cell) -> list[tuple[int, ...]]:
+    """Every input vector of ``cell``, in binary counting order."""
+    return list(itertools.product((0, 1), repeat=cell.n_inputs))
+
+
+def gray_vectors(cell: Cell) -> list[tuple[int, ...]]:
+    """Every input vector in reflected-Gray-code order.
+
+    Adjacent vectors differ in exactly one bit, which makes the previous
+    operating point the natural warm start for the next solve.
+    """
+    n = cell.n_inputs
+    vectors = []
+    for k in range(1 << n):
+        gray = k ^ (k >> 1)
+        vectors.append(
+            tuple((gray >> (n - 1 - bit)) & 1 for bit in range(n))
+        )
+    return vectors
+
+
+def vector_sweep(
+    bench: Testbench,
+    system: MNASystem | None = None,
+    mode: str = "exact",
+) -> tuple[list[tuple[int, ...]], DCSweepResult]:
+    """One batched DC solve over every input vector of the bench.
+
+    Returns ``(vectors, sweep)``; the sweep rows are aligned with the
+    vector list.  This is the shared kernel behind
+    :func:`dc_truth_table`, :func:`worst_static_leakage` and
+    :func:`characterise` — truth table and IDDQ come out of the same
+    solve.
+    """
+    vectors = all_vectors(bench.cell)
+    sweep = solve_dc_sweep(
+        bench.circuit,
+        [bench.vector_bias(v) for v in vectors],
+        system=system,
+        mode=mode,
+    )
+    return vectors, sweep
+
+
 def dc_truth_table(
     bench: Testbench,
+    engine: str = "batched",
+    system: MNASystem | None = None,
+    mode: str = "exact",
 ) -> dict[tuple[int, ...], tuple[float, int | None]]:
-    """Measured (voltage, logic value) of ``out`` for every input vector."""
+    """Measured (voltage, logic value) of ``out`` for every input vector.
+
+    ``engine="batched"`` (default) solves all vectors in one vectorized
+    multi-point Newton call; ``engine="sequential"`` solves one vector
+    at a time on a shared system, Gray-code ordered with warm-started
+    initial guesses.  ``mode`` is forwarded to
+    :func:`~repro.spice.batched.solve_dc_sweep`; the default stays on
+    the exact sequential-identical schedule so defect screening never
+    silently lands on a different DC branch — pass ``mode="fast"`` for
+    fault-free library sweeps where speed matters.
+    """
     cell = bench.cell
+    vdd = bench.vdd
     table: dict[tuple[int, ...], tuple[float, int | None]] = {}
-    for vector in itertools.product((0, 1), repeat=cell.n_inputs):
+    if engine == "batched":
+        vectors, sweep = vector_sweep(bench, system=system, mode=mode)
+        v_out = sweep.voltages("out")
+        for k, vector in enumerate(vectors):
+            table[vector] = (
+                float(v_out[k]), logic_level(float(v_out[k]), vdd)
+            )
+        return table
+    if engine != "sequential":
+        raise ValueError(f"unknown engine {engine!r}")
+    mna = system if system is not None else MNASystem(bench.circuit)
+    x = None
+    for vector in gray_vectors(cell):
         bench.set_vector(vector)
-        op = solve_dc(bench.circuit)
-        v_out = op.voltage("out")
-        table[vector] = (v_out, logic_level(v_out, bench.vdd))
-    return table
+        x = mna.solve_dc_continuation(t=0.0, x0=x)
+        v_out = float(x[mna.node_index["out"]])
+        table[vector] = (v_out, logic_level(v_out, vdd))
+    return {v: table[v] for v in all_vectors(cell)}
 
 
-def verify_truth_table(bench: Testbench) -> bool:
+def verify_truth_table(
+    bench: Testbench, engine: str = "batched", mode: str = "exact"
+) -> bool:
     """True when the measured DC truth table matches the reference."""
     reference = bench.cell.truth_table()
-    measured = dc_truth_table(bench)
+    measured = dc_truth_table(bench, engine=engine, mode=mode)
     return all(
         measured[vector][1] == expected
         for vector, expected in reference.items()
     )
 
 
-def static_leakage(bench: Testbench, vector: tuple[int, ...]) -> float:
+def static_leakage(
+    bench: Testbench,
+    vector: tuple[int, ...],
+    system: MNASystem | None = None,
+) -> float:
     """IDDQ (supply current magnitude) for a static input vector."""
     bench.set_vector(vector)
-    op = solve_dc(bench.circuit)
+    op = solve_dc(bench.circuit, system=system)
     return op.supply_current("vdd")
 
 
-def worst_static_leakage(bench: Testbench) -> tuple[float, tuple[int, ...]]:
-    """Maximum IDDQ over all input vectors, with its vector."""
+def worst_static_leakage(
+    bench: Testbench,
+    engine: str = "batched",
+    system: MNASystem | None = None,
+    mode: str = "exact",
+) -> tuple[float, tuple[int, ...]]:
+    """Maximum IDDQ over all input vectors, with its vector.
+
+    ``mode="exact"`` (default) keeps the IDDQ screen on the
+    sequential-identical schedule (see :func:`dc_truth_table`).
+    """
+    if engine == "batched":
+        vectors, sweep = vector_sweep(bench, system=system, mode=mode)
+        iddq = sweep.supply_currents("vdd")
+        worst = int(iddq.argmax())
+        if iddq[worst] <= 0.0:
+            return (0.0, (0,) * bench.cell.n_inputs)
+        return (float(iddq[worst]), vectors[worst])
+    if engine != "sequential":
+        raise ValueError(f"unknown engine {engine!r}")
     worst = (0.0, (0,) * bench.cell.n_inputs)
     for vector in itertools.product((0, 1), repeat=bench.cell.n_inputs):
-        leak = static_leakage(bench, vector)
+        leak = static_leakage(bench, vector, system=system)
         if leak > worst[0]:
             worst = (leak, vector)
     return worst
@@ -93,16 +202,12 @@ def transition_delay(
     return propagation_delay(result, input_name, "out", vdd)
 
 
-def worst_case_delay(
-    bench: Testbench,
-    t_edge: float = 200e-12,
-    t_stop: float = 1.4e-9,
-    dt: float = 2e-12,
-) -> float:
-    """Worst delay over all single-input transitions that flip the output."""
-    cell = bench.cell
+def _flipping_transitions(
+    cell: Cell,
+) -> list[tuple[str, dict[str, int], bool]]:
+    """All (input, other-bits, rising) edges that flip the output."""
     reference = cell.truth_table()
-    worst = 0.0
+    transitions = []
     for k, input_name in enumerate(cell.inputs):
         for other_vector in itertools.product(
             (0, 1), repeat=cell.n_inputs - 1
@@ -118,11 +223,62 @@ def worst_case_delay(
                 if name != input_name
             }
             for rising in (True, False):
-                delay = transition_delay(
-                    bench, input_name, others, rising=rising,
-                    t_edge=t_edge, t_stop=t_stop, dt=dt,
-                )
-                worst = max(worst, delay)
+                transitions.append((input_name, others, rising))
+    return transitions
+
+
+def worst_case_delay(
+    bench: Testbench,
+    t_edge: float = 200e-12,
+    t_stop: float = 1.4e-9,
+    dt: float = 2e-12,
+    engine: str = "batched",
+    system: MNASystem | None = None,
+) -> float:
+    """Worst delay over all single-input transitions that flip the output.
+
+    The batched engine integrates every transition as one lockstep
+    transient sweep (per-point source-drive overrides on a shared
+    circuit); the sequential engine runs one transient per transition.
+    """
+    cell = bench.cell
+    transitions = _flipping_transitions(cell)
+    if not transitions:
+        return 0.0
+    if engine == "sequential":
+        worst = 0.0
+        for input_name, others, rising in transitions:
+            delay = transition_delay(
+                bench, input_name, others, rising=rising,
+                t_edge=t_edge, t_stop=t_stop, dt=dt,
+            )
+            worst = max(worst, delay)
+        return worst
+    if engine != "batched":
+        raise ValueError(f"unknown engine {engine!r}")
+    vdd = bench.vdd
+    overrides = []
+    for input_name, others, rising in transitions:
+        v0, v1 = (0.0, vdd) if rising else (vdd, 0.0)
+        point: dict[str, object] = {}
+
+        def drive(name: str, waveform) -> None:
+            point[f"vin_{name}"] = waveform
+            if f"vin_{name}_n" in bench.circuit.vsources:
+                point[f"vin_{name}_n"] = Complement(waveform, vdd)
+
+        for name, bit in others.items():
+            drive(name, DC(bit * vdd))
+        drive(input_name, Step(v0, v1, t_edge, 20e-12))
+        overrides.append(point)
+    results = run_transient_sweep(
+        bench.circuit, overrides, t_stop, dt, system=system
+    )
+    worst = 0.0
+    for (input_name, _others, _rising), result in zip(transitions, results):
+        worst = max(
+            worst, propagation_delay(result, input_name, "out", vdd)
+        )
     return worst
 
 
@@ -130,16 +286,33 @@ def characterise(
     cell: Cell,
     params: DeviceParameters = DEFAULT_PARAMS,
     fanout: int = 4,
+    engine: str = "batched",
 ) -> GateCharacterisation:
-    """Full characterisation of a library cell."""
+    """Full characterisation of a library cell.
+
+    With the batched engine the DC part (truth table + worst IDDQ) is
+    one multi-point solve and the delay part one lockstep transient
+    sweep, all on a single shared :class:`MNASystem`.
+    """
     bench = build_cell_circuit(cell, fanout=fanout, params=params)
-    measured = dc_truth_table(bench)
     reference = cell.truth_table()
+    if engine == "batched":
+        system = MNASystem(bench.circuit)
+        vectors, sweep = vector_sweep(bench, system=system)
+        v_out = sweep.voltages("out")
+        measured = {
+            vector: (float(v_out[k]), logic_level(float(v_out[k]), bench.vdd))
+            for k, vector in enumerate(vectors)
+        }
+        leak = float(sweep.supply_currents("vdd").max())
+        delay = worst_case_delay(bench, engine="batched", system=system)
+    else:
+        measured = dc_truth_table(bench, engine=engine)
+        leak, _vector = worst_static_leakage(bench, engine=engine)
+        delay = worst_case_delay(bench, engine=engine)
     ok = all(
         measured[v][1] == expected for v, expected in reference.items()
     )
-    leak, _vector = worst_static_leakage(bench)
-    delay = worst_case_delay(bench)
     return GateCharacterisation(
         cell_name=cell.name,
         truth_table_ok=ok,

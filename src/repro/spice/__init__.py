@@ -5,11 +5,18 @@ backward-Euler transient integration; vectorised TIG-SiNWFET evaluation;
 delay/leakage (IDDQ) measurement helpers.
 """
 
+from repro.spice.batched import (
+    DCSweepResult,
+    run_transient_sweep,
+    solve_dc_sweep,
+)
 from repro.spice.dc import OperatingPoint, solve_dc, sweep_dc
 from repro.spice.measure import (
+    final_supply_currents,
     logic_level,
     output_swing,
     propagation_delay,
+    propagation_delays,
     settles_to,
     threshold_crossings,
 )
@@ -35,6 +42,7 @@ __all__ = [
     "ConvergenceError",
     "CurrentSource",
     "DC",
+    "DCSweepResult",
     "DeviceInstance",
     "MNASystem",
     "NewtonOptions",
@@ -47,13 +55,17 @@ __all__ = [
     "VoltageSource",
     "Waveform",
     "bit_sequence",
+    "final_supply_currents",
     "logic_level",
     "operating_point_from_result",
     "output_swing",
     "propagation_delay",
+    "propagation_delays",
     "run_transient",
+    "run_transient_sweep",
     "settles_to",
     "solve_dc",
+    "solve_dc_sweep",
     "sweep_dc",
     "threshold_crossings",
 ]

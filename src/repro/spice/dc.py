@@ -69,13 +69,21 @@ def sweep_dc(
     source_name: str,
     values: np.ndarray,
     options: NewtonOptions | None = None,
+    system: MNASystem | None = None,
 ) -> list[OperatingPoint]:
-    """Sweep the DC level of one voltage source, warm-starting each point."""
+    """Sweep the DC level of one voltage source, warm-starting each point.
+
+    The points of an ordered source sweep are chained (each solution is
+    the next point's initial guess), so they solve sequentially on one
+    shared system; for *independent* bias points use
+    :func:`repro.spice.batched.solve_dc_sweep`, which vectorises the
+    whole batch through one multi-point Newton loop.
+    """
     from repro.spice.waveforms import DC
 
     if source_name not in circuit.vsources:
         raise KeyError(f"no voltage source named {source_name!r}")
-    mna = MNASystem(circuit)
+    mna = system if system is not None else MNASystem(circuit)
     results: list[OperatingPoint] = []
     x_prev: np.ndarray | None = None
     for value in values:

@@ -1,6 +1,14 @@
-"""Measurement utilities: crossings, propagation delay, leakage, swing."""
+"""Measurement utilities: crossings, propagation delay, leakage, swing.
+
+Crossing detection is fully vectorized (one boolean diff over the whole
+trace instead of a Python loop per sample), and the ``*_currents`` /
+``propagation_delays`` helpers extract measurements over a whole sweep
+dimension at once — reporting should not dominate a batched solver.
+"""
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -20,21 +28,20 @@ def threshold_crossings(
     """
     if direction not in ("rise", "fall", "both"):
         raise ValueError(f"bad direction {direction!r}")
-    crossings: list[float] = []
+    values = np.asarray(values)
+    times = np.asarray(times)
     below = values < threshold
-    for k in range(1, len(values)):
-        if below[k - 1] == below[k]:
-            continue
-        rising = below[k - 1] and not below[k]
-        if direction == "rise" and not rising:
-            continue
-        if direction == "fall" and rising:
-            continue
-        v0, v1 = values[k - 1], values[k]
-        t0, t1 = times[k - 1], times[k]
-        frac = (threshold - v0) / (v1 - v0)
-        crossings.append(float(t0 + frac * (t1 - t0)))
-    return crossings
+    k = np.flatnonzero(below[:-1] != below[1:]) + 1
+    if direction == "rise":
+        k = k[below[k - 1]]
+    elif direction == "fall":
+        k = k[~below[k - 1]]
+    if k.size == 0:
+        return []
+    v0, v1 = values[k - 1], values[k]
+    t0, t1 = times[k - 1], times[k]
+    frac = (threshold - v0) / (v1 - v0)
+    return [float(t) for t in t0 + frac * (t1 - t0)]
 
 
 def propagation_delay(
@@ -88,6 +95,39 @@ def settles_to(
     v = result.voltage(node)
     tail = max(1, int(len(v) * tail_fraction))
     return abs(float(np.mean(v[-tail:])) - level) <= tolerance
+
+
+def final_supply_currents(
+    results: Sequence[TransientResult],
+    source_name: str = "vdd",
+    tail_fraction: float = 0.05,
+) -> np.ndarray:
+    """Tail-averaged |supply current| of every sweep point at once.
+
+    Vectorized over the sweep dimension: the (lockstep) traces stack
+    into one ``(B, n)`` array and the tail mean reduces along the time
+    axis in a single call — the batched counterpart of calling
+    :meth:`TransientResult.final_supply_current` per point.
+    """
+    stacked = np.abs(
+        np.stack([r.source_currents[source_name] for r in results])
+    )
+    tail = max(1, int(stacked.shape[1] * tail_fraction))
+    return np.mean(stacked[:, -tail:], axis=1)
+
+
+def propagation_delays(
+    results: Sequence[TransientResult],
+    input_node: str,
+    output_node: str,
+    vdd: float,
+    edge: str = "both",
+) -> np.ndarray:
+    """Worst-case propagation delay of every sweep point, as an array."""
+    return np.asarray([
+        propagation_delay(r, input_node, output_node, vdd, edge=edge)
+        for r in results
+    ])
 
 
 def logic_level(

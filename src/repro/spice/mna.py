@@ -63,29 +63,113 @@ class MNASystem:
         return self.node_index[node]
 
     def _build_linear(self) -> None:
-        """Stamp resistors and voltage-source incidence (time-invariant)."""
-        g = np.zeros((self.size, self.size))
+        """Stamp resistors and voltage-source incidence (time-invariant).
+
+        The stamp is assembled exactly once, as a sparse triplet list
+        (kept for inspection / sparse factorisation) plus the dense
+        matrix every Newton iteration reads.  Derived per-``gmin`` base
+        matrices and the device-free direct factorisation are cached
+        lazily — see :meth:`base_matrix` and :meth:`linear_solve`.
+        """
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+
+        def stamp(r: int, c: int, v: float) -> None:
+            rows.append(r)
+            cols.append(c)
+            vals.append(v)
+
         for r in self.circuit.resistors.values():
             conductance = 1.0 / r.resistance
             a, b = self._index(r.a), self._index(r.b)
             if a >= 0:
-                g[a, a] += conductance
+                stamp(a, a, conductance)
             if b >= 0:
-                g[b, b] += conductance
+                stamp(b, b, conductance)
             if a >= 0 and b >= 0:
-                g[a, b] -= conductance
-                g[b, a] -= conductance
+                stamp(a, b, -conductance)
+                stamp(b, a, -conductance)
         for k, name in enumerate(self.vsource_names):
             src = self.circuit.vsources[name]
             row = self.n_nodes + k
             p, n = self._index(src.pos), self._index(src.neg)
             if p >= 0:
-                g[row, p] += 1.0
-                g[p, row] += 1.0
+                stamp(row, p, 1.0)
+                stamp(p, row, 1.0)
             if n >= 0:
-                g[row, n] -= 1.0
-                g[n, row] -= 1.0
+                stamp(row, n, -1.0)
+                stamp(n, row, -1.0)
+        self.linear_triplets = (
+            np.asarray(rows, dtype=int),
+            np.asarray(cols, dtype=int),
+            np.asarray(vals, dtype=float),
+        )
+        g = np.zeros((self.size, self.size))
+        np.add.at(g, (self.linear_triplets[0], self.linear_triplets[1]),
+                  self.linear_triplets[2])
         self.g_linear = g
+        self._gmin_bases: dict[float, np.ndarray] = {0.0: g}
+        self._linear_factor = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_linear(self) -> bool:
+        """True when the circuit has no nonlinear devices."""
+        return not self.circuit.devices
+
+    def base_matrix(
+        self, gmin: float = 0.0, g_extra: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Linear-part system matrix ``g_linear (+ g_extra) (+ gmin)``.
+
+        The pure ``gmin`` variants are cached (the gmin ladder revisits
+        the same handful of values on every solve, and sweeps reuse them
+        across every bias point); callers must treat the returned array
+        as read-only.  With ``g_extra`` a fresh sum is returned.
+        """
+        if g_extra is None:
+            cached = self._gmin_bases.get(gmin)
+            if cached is None:
+                cached = self.g_linear.copy()
+                idx = np.arange(self.n_nodes)
+                cached[idx, idx] += gmin
+                self._gmin_bases[gmin] = cached
+            return cached
+        g = self.g_linear + g_extra
+        if gmin > 0.0:
+            idx = np.arange(self.n_nodes)
+            g[idx, idx] += gmin
+        return g
+
+    def linear_solve(self, b: np.ndarray, gmin: float) -> np.ndarray:
+        """Direct solve of the device-free system (prefactorised).
+
+        Only valid when :attr:`is_linear`; the LU factorisation of the
+        (sparse) stamp at the given ``gmin`` floor is computed once per
+        system and reused for every right-hand side — DC sweeps on
+        linear circuits skip Newton iteration entirely.
+        """
+        if not self.is_linear:
+            raise ValueError("linear_solve requires a device-free circuit")
+        if self._linear_factor is None or self._linear_factor[0] != gmin:
+            matrix = self.base_matrix(gmin)
+            try:
+                from scipy.sparse import csc_matrix
+                from scipy.sparse.linalg import splu
+
+                lu = splu(csc_matrix(matrix))
+                solve = lu.solve
+            except ImportError:  # pragma: no cover - scipy is baked in
+                import functools
+
+                solve = functools.partial(np.linalg.solve, matrix)
+            self._linear_factor = (gmin, solve)
+        b = np.asarray(b, dtype=float)
+        if b.ndim == 1:
+            return self._linear_factor[1](b)
+        # Batched right-hand sides: factor once, solve columns together.
+        return self._linear_factor[1](b.T).T
 
     def _build_device_groups(self) -> None:
         """Group devices by compact-model identity for vectorised eval.
@@ -117,9 +201,13 @@ class MNASystem:
             row_j = np.broadcast_to(index_matrix[:, :, None], (n, 5, 5))
             j_valid = (row_t >= 0) & (row_j >= 0)
             j_targets = (row_t * self.size + row_j)[j_valid]
+            # Ground-safe gather indices, precomputed once so per-call
+            # voltage gathers skip the clip (the batched engine runs
+            # thousands of gathers per sweep).
+            index_clipped = np.clip(index_matrix, 0, None)
             self.device_groups.append(
                 (model, names, index_matrix, i_valid, i_targets,
-                 j_valid, j_targets)
+                 j_valid, j_targets, index_clipped)
             )
 
     # ------------------------------------------------------------------
@@ -159,7 +247,7 @@ class MNASystem:
         j_dev = np.zeros((self.size, self.size))
         j_flat = j_dev.ravel()
         for (model, _names, index_matrix, i_valid, i_targets,
-             j_valid, j_targets) in self.device_groups:
+             j_valid, j_targets, _index_clipped) in self.device_groups:
             base = self._terminal_voltages(x, index_matrix)  # (n, 5)
             n = base.shape[0]
             # Perturbation tensor: slot 0 is the base point, slots 1..5
@@ -187,6 +275,7 @@ class MNASystem:
         i_extra: np.ndarray | None = None,
         options: NewtonOptions | None = None,
         gmin: float = 0.0,
+        g_base: np.ndarray | None = None,
     ) -> np.ndarray:
         """Solve ``G x + I_dev(x) - b = 0`` by damped Newton iteration.
 
@@ -197,15 +286,17 @@ class MNASystem:
             i_extra: Additional constant currents (companion histories).
             options: Newton options.
             gmin: Conductance from every node to ground (homotopy aid).
+            g_base: Precomputed full linear base (``g_linear + g_extra``
+                with ``gmin`` already applied); overrides the assembly
+                from ``g_extra``/``gmin`` so transient loops can stamp
+                the companion sum once instead of once per step.
         """
         opts = options or NewtonOptions()
-        g = self.g_linear
-        if g_extra is not None:
-            g = g + g_extra
-        if gmin > 0.0:
-            g = g.copy()
-            idx = np.arange(self.n_nodes)
-            g[idx, idx] += gmin
+        g = (
+            g_base
+            if g_base is not None
+            else self.base_matrix(gmin=gmin, g_extra=g_extra)
+        )
         x = x0.copy()
         for iteration in range(opts.max_iterations):
             i_dev, j_dev = self.device_contributions(x)
@@ -253,6 +344,17 @@ class MNASystem:
         """
         opts = options or NewtonOptions()
         b = self.source_rhs(t)
+        if self.is_linear:
+            # Device-free circuit: one prefactorised direct solve at the
+            # gmin floor replaces the whole Newton/gmin ladder.
+            gmin_floor = opts.gmin_steps[-1] if opts.gmin_steps else 0.0
+            try:
+                return self.linear_solve(b, gmin_floor)
+            except RuntimeError as exc:
+                raise ConvergenceError(
+                    f"singular linear system in circuit "
+                    f"{self.circuit.title!r}"
+                ) from exc
         x = x0.copy() if x0 is not None else np.zeros(self.size)
         last_error: Exception | None = None
         for gmin in opts.gmin_steps:

@@ -44,12 +44,46 @@ class TransientResult:
         return float(np.mean(samples[-tail:]))
 
 
+def capacitor_companions(
+    mna: MNASystem, dt: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Backward-Euler capacitor companion stamp for a fixed ``dt``.
+
+    Returns ``(g_cap, a_idx, b_idx, geq)``: the conductance stamp to add
+    to the linear base, plus per-capacitor unknown indices (−1 for
+    ground) and companion conductances ``C/dt``, in netlist order.  The
+    single recipe is shared by the scalar integrator below and the
+    batched lockstep integrator in :mod:`repro.spice.batched`, so the
+    two cannot drift.
+    """
+    circuit = mna.circuit
+    g_cap = np.zeros((mna.size, mna.size))
+    n_caps = len(circuit.capacitors)
+    a_idx = np.empty(n_caps, dtype=int)
+    b_idx = np.empty(n_caps, dtype=int)
+    geq = np.empty(n_caps)
+    for k, cap in enumerate(circuit.capacitors.values()):
+        a = mna._index(cap.a)
+        b = mna._index(cap.b)
+        a_idx[k], b_idx[k] = a, b
+        geq[k] = cap.capacitance / dt
+        if a >= 0:
+            g_cap[a, a] += geq[k]
+        if b >= 0:
+            g_cap[b, b] += geq[k]
+        if a >= 0 and b >= 0:
+            g_cap[a, b] -= geq[k]
+            g_cap[b, a] -= geq[k]
+    return g_cap, a_idx, b_idx, geq
+
+
 def run_transient(
     circuit: Circuit,
     t_stop: float,
     dt: float,
     options: NewtonOptions | None = None,
     x0: np.ndarray | None = None,
+    system: MNASystem | None = None,
 ) -> TransientResult:
     """Integrate the circuit from its DC operating point to ``t_stop``.
 
@@ -59,33 +93,28 @@ def run_transient(
         dt: Fixed time step [s].
         options: Newton options.
         x0: Optional initial solution (defaults to the DC point at t=0).
+        system: Pre-built :class:`MNASystem` to amortise assembly across
+            repeated transients on a fixed topology.
     """
     if t_stop <= 0 or dt <= 0:
         raise ValueError("t_stop and dt must be positive")
-    mna = MNASystem(circuit)
+    mna = system if system is not None else MNASystem(circuit)
     opts = options or NewtonOptions()
 
     # Capacitor companion pattern (constant for fixed dt).
-    g_cap = np.zeros((mna.size, mna.size))
-    cap_pairs: list[tuple[int, int, float]] = []
-    for cap in circuit.capacitors.values():
-        a = mna._index(cap.a)
-        b = mna._index(cap.b)
-        geq = cap.capacitance / dt
-        cap_pairs.append((a, b, geq))
-        if a >= 0:
-            g_cap[a, a] += geq
-        if b >= 0:
-            g_cap[b, b] += geq
-        if a >= 0 and b >= 0:
-            g_cap[a, b] -= geq
-            g_cap[b, a] -= geq
+    g_cap, a_idx, b_idx, geq_arr = capacitor_companions(mna, dt)
+    cap_pairs = list(zip(a_idx, b_idx, geq_arr))
 
     x = (
         x0.copy()
         if x0 is not None
         else mna.solve_dc_continuation(t=0.0, options=opts)
     )
+    # The time-invariant linear base (stamp + capacitor companions) is
+    # summed once here and reused by every step's Newton solve; the
+    # retry variant adds its gmin support lazily.
+    g_base = mna.g_linear + g_cap
+    g_base_retry: np.ndarray | None = None
     n_steps = int(round(t_stop / dt))
     times = np.linspace(0.0, n_steps * dt, n_steps + 1)
     trace = np.empty((n_steps + 1, mna.size))
@@ -106,14 +135,17 @@ def run_transient(
                 i_extra[bb] += hist
         try:
             x = mna.solve_newton(
-                x, b, g_extra=g_cap, i_extra=i_extra, options=opts
+                x, b, i_extra=i_extra, options=opts, g_base=g_base
             )
         except ConvergenceError:
             # Retry once from a relaxed starting point with gmin support;
             # transient steps occasionally straddle a steep device region.
+            if g_base_retry is None:
+                g_base_retry = g_base.copy()
+                idx = np.arange(mna.n_nodes)
+                g_base_retry[idx, idx] += 1e-9
             x = mna.solve_newton(
-                x, b, g_extra=g_cap, i_extra=i_extra, options=opts,
-                gmin=1e-9,
+                x, b, i_extra=i_extra, options=opts, g_base=g_base_retry,
             )
         trace[step] = x
 

@@ -9,8 +9,11 @@ Checks every ``*.md`` file at the repo root and under ``docs/`` for
 
 and verifies each resolves to an existing file or directory.  Targets
 that are URLs, anchors, or known *generated* paths (benchmark output,
-campaign stores) are exempt.  CI runs this in the campaign-smoke job;
-locally::
+campaign stores) are exempt.  It also fails on *orphaned* docs: every
+file under ``docs/`` must be referenced from at least one other scanned
+document (README or a sibling doc), so a new doc — e.g.
+``docs/PERFORMANCE.md`` — cannot land unreachable from the entry
+points.  CI runs this in the campaign-smoke job; locally::
 
     python tools/check_doc_links.py
 """
@@ -56,9 +59,9 @@ def candidate_targets(text: str):
         yield match.group(1)
 
 
-def check_file(path: Path) -> list[str]:
+def check_file(path: Path, targets: list[str]) -> list[str]:
     errors = []
-    for target in candidate_targets(path.read_text()):
+    for target in targets:
         if not target or is_exempt(target):
             continue
         # Resolve relative to the doc's directory, the repo root, or the
@@ -76,15 +79,34 @@ def check_file(path: Path) -> list[str]:
 SKIP = {"ISSUE.md", "CHANGES.md"}
 
 
+def check_orphans(doc_targets: dict[Path, list[str]]) -> list[str]:
+    """Every docs/*.md file must be referenced by another scanned doc."""
+    referenced: set[str] = set()
+    for doc, targets in doc_targets.items():
+        for target in targets:
+            name = target.rsplit("/", 1)[-1]
+            if name.endswith(".md") and name != doc.name:
+                referenced.add(name)
+    return [
+        f"docs/{doc.name}: orphaned (not referenced from any other doc)"
+        for doc in doc_targets
+        if doc.parent.name == "docs" and doc.name not in referenced
+    ]
+
+
 def main() -> int:
     docs = [
         p
         for p in sorted(REPO.glob("*.md")) + sorted(REPO.glob("docs/*.md"))
         if p.name not in SKIP
     ]
+    doc_targets = {
+        doc: list(candidate_targets(doc.read_text())) for doc in docs
+    }
     errors: list[str] = []
-    for doc in docs:
-        errors.extend(check_file(doc))
+    for doc, targets in doc_targets.items():
+        errors.extend(check_file(doc, targets))
+    errors.extend(check_orphans(doc_targets))
     if errors:
         print("\n".join(errors), file=sys.stderr)
         print(f"\n{len(errors)} broken doc reference(s)", file=sys.stderr)
