@@ -7,7 +7,7 @@ rounds — they are regression guards for the substrates.
 import numpy as np
 
 from repro.atpg.fault_sim import parallel_stuck_at_simulation
-from repro.atpg.faults import stuck_at_faults
+from repro.faults import stuck_at_faults
 from repro.atpg.podem import generate_test
 from repro.circuits.generators import ripple_carry_adder
 from repro.device.tig_model import TIGSiNWFET

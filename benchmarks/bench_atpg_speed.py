@@ -28,7 +28,7 @@ from pathlib import Path
 
 from repro.analysis import save_report
 from repro.analysis.report import ascii_table
-from repro.atpg.faults import stuck_at_faults
+from repro.faults import stuck_at_faults
 from repro.atpg.podem import run_stuck_at_atpg
 from repro.circuits import build_benchmark
 

@@ -24,7 +24,7 @@ from repro.atpg.fault_sim import (
     parallel_stuck_at_simulation,
     parallel_stuck_open_simulation,
 )
-from repro.atpg.faults import (
+from repro.faults import (
     polarity_faults,
     stuck_at_faults,
     stuck_open_faults,

@@ -136,9 +136,10 @@ def demo_iddq_screening() -> None:
     (the campaign's ``iddq`` fault class), and cross-checks one
     screened fault in the analog domain.
     """
-    from repro.atpg import polarity_faults, select_iddq_vectors
+    from repro.atpg import select_iddq_vectors
     from repro.circuits import parity_tree
     from repro.core import StuckAtNType, StuckAtPType
+    from repro.faults import get_universe
     from repro.gates import build_cell_circuit, get_cell
     from repro.logic import simulate
     from repro.spice import solve_dc
@@ -146,7 +147,7 @@ def demo_iddq_screening() -> None:
     network = parity_tree(8)
     print(f"Circuit: {network}")
 
-    faults = polarity_faults(network)
+    faults = get_universe("polarity").enumerate(network)
     print(f"polarity faults: {len(faults)} "
           f"(stuck-at n/p per transistor over {len(network.gates)} DP gates)")
 
@@ -256,22 +257,20 @@ def demo_atpg_flow() -> None:
     """
     from repro.atpg import (
         parallel_stuck_at_simulation,
-        polarity_faults,
         run_polarity_atpg,
         select_iddq_vectors,
         serial_polarity_simulation,
-        stuck_at_faults,
-        stuck_open_faults,
     )
     from repro.campaign.tasks import classic_stuck_at_testset
     from repro.circuits import ripple_carry_adder
+    from repro.faults import get_universe
 
     network = ripple_carry_adder(4)
     print(f"Circuit: {network}")
     print(f"  stats: {network.stats()}")
 
-    # 1. Classic stuck-at ATPG.
-    sa_faults = stuck_at_faults(network)
+    # 1. Classic stuck-at ATPG (fault list from the universe registry).
+    sa_faults = get_universe("stuck_at").collapse(network)
     test_set = classic_stuck_at_testset(network)
     sa_cov = parallel_stuck_at_simulation(network, sa_faults, test_set)
     print(f"\n[1] classic stuck-at ATPG: {len(sa_faults)} faults, "
@@ -279,7 +278,7 @@ def demo_atpg_flow() -> None:
           f"coverage {sa_cov.coverage:.1%}")
 
     # 2. How much of the CP fault universe does that set cover?
-    pol_faults = polarity_faults(network)
+    pol_faults = get_universe("polarity").enumerate(network)
     pol_by_sa = serial_polarity_simulation(network, pol_faults, test_set)
     print(f"\n[2] polarity faults (stuck-at n/p): {len(pol_faults)} total")
     print(f"    detected by the classic stuck-at set: "
@@ -298,7 +297,7 @@ def demo_atpg_flow() -> None:
           f"{iddq.coverage:.1%} of polarity faults")
 
     # 4. Stuck-open census.
-    sop = stuck_open_faults(network)
+    sop = get_universe("stuck_open").enumerate(network)
     masked = [f for f in sop if f.is_masked()]
     print(f"\n[4] channel breaks: {len(sop)} sites, {len(masked)} masked "
           f"by DP redundancy -> require the Section V-C procedure")

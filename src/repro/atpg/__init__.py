@@ -1,7 +1,9 @@
 """ATPG for controllable-polarity circuits.
 
 The package covers the full test flow of the paper's Section 5: fault
-list generation (:mod:`~repro.atpg.faults`), PODEM test generation over
+list generation (the ``stuck_at`` / ``polarity`` / ``stuck_open``
+universes of :mod:`repro.faults`, re-exported here for convenience —
+``repro.atpg.faults`` is a deprecation shim), PODEM test generation over
 the five-valued D-calculus (:mod:`~repro.atpg.podem`), polarity-fault
 and two-pattern stuck-open generators (:mod:`~repro.atpg.polarity_atpg`,
 :mod:`~repro.atpg.sof_atpg`), IDDQ vector selection
@@ -64,14 +66,6 @@ from repro.atpg.fault_sim import (
     stuck_at_injection,
     stuck_open_detection_words,
 )
-from repro.atpg.faults import (
-    PolarityFault,
-    StuckAtFault,
-    StuckOpenFault,
-    polarity_faults,
-    stuck_at_faults,
-    stuck_open_faults,
-)
 from repro.atpg.iddq import IddqSelection, select_iddq_vectors
 from repro.atpg.podem import (
     PodemResult,
@@ -91,6 +85,14 @@ from repro.atpg.sof_atpg import (
     StuckOpenTest,
     generate_stuck_open_test,
     run_sof_atpg,
+)
+from repro.faults.logic import (
+    PolarityFault,
+    StuckAtFault,
+    StuckOpenFault,
+    polarity_faults,
+    stuck_at_faults,
+    stuck_open_faults,
 )
 
 __all__ = [

@@ -12,7 +12,7 @@ import dataclasses
 from typing import Mapping, Sequence
 
 from repro.atpg.fault_sim import stuck_at_detection_words
-from repro.atpg.faults import StuckAtFault
+from repro.faults.logic import StuckAtFault
 from repro.logic.network import Network
 
 

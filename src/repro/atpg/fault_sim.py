@@ -26,7 +26,7 @@ import functools
 import itertools
 from typing import Mapping, Sequence
 
-from repro.atpg.faults import (
+from repro.faults.logic import (
     PolarityFault,
     StuckAtFault,
     StuckOpenFault,

@@ -1,279 +1,63 @@
-"""Gate-level fault list generation for CP circuits.
+"""Deprecated shim: the gate-level fault vocabulary moved to
+:mod:`repro.faults.logic`.
 
-Three fault universes, reflecting the paper's analysis:
+Every historical name (:class:`StuckAtFault`, :class:`PolarityFault`,
+:class:`StuckOpenFault` and the ``*_faults`` enumerators) still resolves
+here, but importing through this module raises a
+:class:`~repro.faults.universe.ReproDeprecationWarning` — the test
+suite escalates first-party uses to errors (see ``pytest.ini``).
 
-* **Classic stuck-at** — s-a-0/s-a-1 on every net stem and every gate
-  input pin (branch faults), with structural equivalence collapsing.
-* **Polarity faults** (the paper's new models) — stuck-at n-type /
-  p-type on every transistor of every DP gate instance.  Their local
-  behaviour (faulty truth table + IDDQ activation vectors) is derived
-  from the switch-level engine, so the gate-level fault is exactly the
-  transistor-level defect's image.
-* **Stuck-open faults** — full channel break per transistor of every
-  gate instance; detectable by two-pattern tests on SP gates, and
-  masked (requiring the paper's procedure) on DP gates.
+Migrate to either the canonical classes::
+
+    from repro.faults import StuckAtFault, stuck_at_faults
+
+or, for enumeration, the registry protocol::
+
+    from repro.faults import get_universe
+    faults = get_universe("stuck_at").collapse(network)
 """
 
 from __future__ import annotations
 
-import dataclasses
-import functools
-import itertools
+import warnings
 
-from repro.gates.library import ALL_CELLS
-from repro.logic.network import Gate, Network
-from repro.logic.switch_level import DeviceState, evaluate
-from repro.logic.values import X, Z
+from repro.faults import logic as _logic
+from repro.faults.universe import ReproDeprecationWarning
+
+#: Names this shim forwards (the module's historical public surface).
+_MOVED = (
+    "StuckAtFault",
+    "PolarityFault",
+    "StuckOpenFault",
+    "stuck_at_faults",
+    "polarity_faults",
+    "stuck_open_faults",
+)
 
 
-# ---------------------------------------------------------------------------
-# Stuck-at faults
-# ---------------------------------------------------------------------------
-
-@dataclasses.dataclass(frozen=True)
-class StuckAtFault:
-    """A single stuck-at fault.
-
-    ``gate``/``pin`` identify a branch fault on one gate input; when both
-    are None the fault sits on the net stem (PI or gate output).
-    """
-
-    net: str
-    value: int
-    gate: str | None = None
-    pin: int | None = None
-
-    def __post_init__(self) -> None:
-        if self.value not in (0, 1):
-            raise ValueError("stuck-at value must be 0 or 1")
-
-    @property
-    def is_branch(self) -> bool:
-        return self.gate is not None
-
-    @property
-    def name(self) -> str:
-        location = (
-            f"{self.gate}.in{self.pin}" if self.is_branch else self.net
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.atpg.faults.{name} is deprecated; import it from "
+            f"repro.faults (canonical home: repro.faults.logic)",
+            ReproDeprecationWarning,
+            stacklevel=2,
         )
-        return f"{location}/sa{self.value}"
-
-    def overrides(self) -> dict:
-        """Simulation overrides for :func:`repro.logic.simulator.simulate`."""
-        if self.is_branch:
-            return {"pin_overrides": {(self.gate, self.pin): self.value}}
-        return {"line_overrides": {self.net: self.value}}
-
-
-def stuck_at_faults(network: Network, collapse: bool = True) -> list[StuckAtFault]:
-    """Enumerate stuck-at faults, optionally equivalence-collapsed.
-
-    Collapsing applies the standard structural rules: on fanout-free
-    nets, branch faults are equivalent to the stem fault; through
-    BUF/INV, input faults are equivalent to (possibly inverted) output
-    faults and are dropped.
-    """
-    faults: list[StuckAtFault] = []
-    for net in network.nets():
-        for value in (0, 1):
-            faults.append(StuckAtFault(net, value))
-    for gate in network.gates.values():
-        for pin, net in enumerate(gate.inputs):
-            fanout = len(network.fanout_of(net))
-            is_po = net in network.primary_outputs
-            if collapse and fanout <= 1 and not is_po:
-                continue  # branch == stem on fanout-free nets
-            for value in (0, 1):
-                faults.append(
-                    StuckAtFault(net, value, gate=gate.name, pin=pin)
-                )
-    if collapse:
-        faults = [
-            f
-            for f in faults
-            if not _collapsible_buffer_input(network, f)
-        ]
-    return faults
-
-
-def _collapsible_buffer_input(network: Network, fault: StuckAtFault) -> bool:
-    """Drop stem faults on BUF/INV inputs (equivalent to output faults),
-    unless the net is a primary output or has fanout."""
-    if fault.is_branch:
-        return False
-    fanout = network.fanout_of(fault.net)
-    if len(fanout) != 1:
-        return False
-    if fault.net in network.primary_outputs:
-        return False
-    consumer = fanout[0]
-    if consumer.gtype not in ("BUF", "INV"):
-        return False
-    # Keep primary-input faults (they have no upstream representative).
-    return fault.net not in network.primary_inputs
-
-
-# ---------------------------------------------------------------------------
-# Polarity faults (stuck-at n-type / p-type)
-# ---------------------------------------------------------------------------
-
-@functools.lru_cache(maxsize=None)
-def _local_behaviour(
-    gtype: str, transistor: str, kind: str
-) -> tuple[dict[tuple[int, ...], int], tuple[tuple[int, ...], ...]]:
-    """Faulty local truth table + IDDQ activation vectors for a polarity
-    fault on one transistor of a cell type.
-
-    Returns ``(faulty_table, iddq_vectors)`` where the faulty table maps
-    binary input tuples to 0/1/X (X = contention tie).
-    """
-    cell = ALL_CELLS[gtype]
-    state = (
-        DeviceState.STUCK_AT_N if kind == "n" else DeviceState.STUCK_AT_P
+        return getattr(_logic, name)
+    if (
+        name.startswith("_")
+        and not name.startswith("__")
+        and hasattr(_logic, name)
+    ):
+        # Private helpers forward silently (internal cross-checks only).
+        # Public names outside _MOVED must NOT resolve here: the shim
+        # covers the historical surface only, so new repro.faults.logic
+        # API never becomes silently reachable through a deprecated path.
+        return getattr(_logic, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
     )
-    table: dict[tuple[int, ...], int] = {}
-    iddq: list[tuple[int, ...]] = []
-    for vector in itertools.product((0, 1), repeat=cell.n_inputs):
-        good = evaluate(cell, vector)
-        bad = evaluate(cell, vector, {transistor: state})
-        value = bad.output
-        if value == Z:
-            value = good.output  # retains the good value dynamically
-        table[vector] = value
-        if bad.conflict and not good.conflict:
-            iddq.append(vector)
-    return table, tuple(iddq)
 
 
-@dataclasses.dataclass(frozen=True)
-class PolarityFault:
-    """Stuck-at n-type or p-type on one transistor of a gate instance."""
-
-    gate: str
-    gtype: str
-    transistor: str
-    kind: str  # 'n' | 'p'
-
-    def __post_init__(self) -> None:
-        if self.kind not in ("n", "p"):
-            raise ValueError("kind must be 'n' or 'p'")
-        if self.gtype not in ALL_CELLS:
-            raise ValueError(
-                f"gate type {self.gtype!r} has no transistor-level cell"
-            )
-
-    @property
-    def name(self) -> str:
-        return f"{self.gate}.{self.transistor}/sa-{self.kind}-type"
-
-    def faulty_table(self) -> dict[tuple[int, ...], int]:
-        return _local_behaviour(self.gtype, self.transistor, self.kind)[0]
-
-    def iddq_vectors(self) -> tuple[tuple[int, ...], ...]:
-        return _local_behaviour(self.gtype, self.transistor, self.kind)[1]
-
-    def output_detecting_vectors(self) -> list[tuple[int, ...]]:
-        """Local vectors where the faulty output is a known wrong value
-        or an indeterminate level (X) replacing a known good one."""
-        cell = ALL_CELLS[self.gtype]
-        table = self.faulty_table()
-        detecting = []
-        for vector, faulty in table.items():
-            good = cell.function(vector)
-            if faulty != good:
-                detecting.append(vector)
-        return detecting
-
-    def gate_override(self):
-        """Override callable for the ternary simulator."""
-        table = self.faulty_table()
-
-        def override(gate: Gate, pins) -> int:
-            key = tuple(pins)
-            if any(p not in (0, 1) for p in key):
-                return X
-            return table[key]
-
-        return override
-
-    def overrides(self) -> dict:
-        return {"gate_overrides": {self.gate: self.gate_override()}}
-
-
-def polarity_faults(network: Network) -> list[PolarityFault]:
-    """Stuck-at n/p faults on every transistor of every DP gate."""
-    faults: list[PolarityFault] = []
-    for gate in network.levelized():
-        if not gate.is_dp or gate.gtype not in ALL_CELLS:
-            continue
-        cell = ALL_CELLS[gate.gtype]
-        for t in cell.transistors:
-            for kind in ("n", "p"):
-                faults.append(
-                    PolarityFault(gate.name, gate.gtype, t.name, kind)
-                )
-    return faults
-
-
-# ---------------------------------------------------------------------------
-# Stuck-open (channel break) faults
-# ---------------------------------------------------------------------------
-
-@dataclasses.dataclass(frozen=True)
-class StuckOpenFault:
-    """Full channel break on one transistor of a gate instance.
-
-    Two-pattern semantics: under the second pattern, if the broken
-    transistor's network would drive the output alone, the output floats
-    and retains the first pattern's value.
-    """
-
-    gate: str
-    gtype: str
-    transistor: str
-
-    def __post_init__(self) -> None:
-        if self.gtype not in ALL_CELLS:
-            raise ValueError(
-                f"gate type {self.gtype!r} has no transistor-level cell"
-            )
-
-    @property
-    def name(self) -> str:
-        return f"{self.gate}.{self.transistor}/sop"
-
-    def is_masked(self) -> bool:
-        """True when no local vector makes this transistor essential
-        (DP redundancy): the break never floats the output."""
-        cell = ALL_CELLS[self.gtype]
-        for vector in itertools.product((0, 1), repeat=cell.n_inputs):
-            broken = evaluate(
-                cell, vector, {self.transistor: DeviceState.STUCK_OPEN}
-            )
-            if broken.output == Z:
-                return False
-        return True
-
-    def floating_vectors(self) -> list[tuple[int, ...]]:
-        """Local vectors under which the broken gate's output floats."""
-        cell = ALL_CELLS[self.gtype]
-        vectors = []
-        for vector in itertools.product((0, 1), repeat=cell.n_inputs):
-            broken = evaluate(
-                cell, vector, {self.transistor: DeviceState.STUCK_OPEN}
-            )
-            if broken.output == Z:
-                vectors.append(vector)
-        return vectors
-
-
-def stuck_open_faults(network: Network) -> list[StuckOpenFault]:
-    """Channel-break faults on every transistor of every mapped gate."""
-    faults: list[StuckOpenFault] = []
-    for gate in network.levelized():
-        if gate.gtype not in ALL_CELLS:
-            continue
-        cell = ALL_CELLS[gate.gtype]
-        for t in cell.transistors:
-            faults.append(StuckOpenFault(gate.name, gate.gtype, t.name))
-    return faults
+def __dir__() -> list[str]:
+    return sorted(_MOVED)

@@ -11,8 +11,8 @@ from __future__ import annotations
 import dataclasses
 
 from repro.atpg.fault_sim import detects_polarity
-from repro.atpg.faults import PolarityFault, polarity_faults
 from repro.atpg.polarity_atpg import generate_polarity_test
+from repro.faults.logic import PolarityFault
 from repro.logic.network import Network
 
 
@@ -56,7 +56,9 @@ def select_iddq_vectors(
     coverable fault, largest marginal gain first.
     """
     if faults is None:
-        faults = polarity_faults(network)
+        from repro.faults import get_universe
+
+        faults = get_universe("polarity").collapse(network)
 
     candidates: list[dict[str, int]] = []
     fault_of_candidate: list[str] = []

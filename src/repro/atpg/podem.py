@@ -30,7 +30,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Mapping, Sequence
 
-from repro.atpg.faults import PolarityFault, StuckAtFault
+from repro.faults.logic import PolarityFault, StuckAtFault
 from repro.logic.eval import CONTROLLING, INVERTING, eval_dvalue
 from repro.logic.network import Gate, Network
 from repro.logic.values import (
@@ -433,11 +433,11 @@ def run_stuck_at_atpg(
     always runs on the compiled simulator.
     """
     from repro.atpg.fault_sim import stuck_at_injection
-    from repro.atpg.faults import stuck_at_faults
+    from repro.faults import get_universe
     from repro.logic.compiled import compile_network, pack_vectors
 
     if faults is None:
-        faults = stuck_at_faults(network)
+        faults = get_universe("stuck_at").collapse(network)
     cnet = compile_network(network)
     names = [f.name for f in faults]
     injections = [stuck_at_injection(cnet, f) for f in faults]

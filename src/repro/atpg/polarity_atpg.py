@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.atpg.faults import PolarityFault
 from repro.atpg.podem import PodemResult, justify_and_propagate
+from repro.faults.logic import PolarityFault
 from repro.logic.network import Network
 
 
@@ -110,10 +110,10 @@ def run_polarity_atpg(
     engine: str = "compiled",
 ) -> PolarityAtpgResult:
     """Generate tests for all (or the given) polarity faults."""
-    from repro.atpg.faults import polarity_faults
+    from repro.faults import get_universe
 
     if faults is None:
-        faults = polarity_faults(network)
+        faults = get_universe("polarity").collapse(network)
     tests: list[PolarityTest] = []
     untestable: list[PolarityFault] = []
     for fault in faults:

@@ -20,8 +20,8 @@ import dataclasses
 import itertools
 
 from repro.atpg.fault_sim import detects_stuck_open
-from repro.atpg.faults import StuckOpenFault
 from repro.atpg.podem import justify_and_propagate
+from repro.faults.logic import StuckOpenFault
 from repro.gates.library import ALL_CELLS
 from repro.logic.network import Network
 
@@ -152,10 +152,10 @@ def run_sof_atpg(
     legacy oracle) for both patterns of every two-pattern search.
     """
     from repro.atpg.fault_sim import stuck_open_detection_words
-    from repro.atpg.faults import stuck_open_faults
+    from repro.faults import get_universe
 
     if faults is None:
-        faults = stuck_open_faults(network)
+        faults = get_universe("stuck_open").collapse(network)
     tests: list[StuckOpenTest] = []
     masked: list[StuckOpenFault] = []
     untestable: list[StuckOpenFault] = []

@@ -8,6 +8,7 @@ Subcommands::
     repro paper-tables  the paper's Section 5 coverage/escape tables
     repro experiment    single paper artifacts (Table I-III, Fig. 3-5, V-C)
     repro demo          the narrated walkthroughs behind ``examples/``
+    repro faults        the fault-universe registry (list / census)
 
 Copy-paste invocations for each paper table live in
 ``docs/CAMPAIGNS.md``; the end-to-end walkthrough in
@@ -325,6 +326,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_demo.add_argument("name", choices=DEMO_NAMES)
     p_demo.set_defaults(func=cmd_demo)
+
+    # Imported here (not at module top) to keep parser construction
+    # import-light, like the experiment/demo drivers.
+    from repro.faults.cli import cmd_faults_census, cmd_faults_list
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="fault-universe registry tools (see docs/FAULT_UNIVERSES.md)",
+    )
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+    pf_list = faults_sub.add_parser(
+        "list", help="list registered fault universes"
+    )
+    pf_list.set_defaults(func=cmd_faults_list)
+    pf_census = faults_sub.add_parser(
+        "census",
+        help="per-universe fault counts (before/after collapsing) "
+             "for registry circuits",
+    )
+    pf_census.add_argument("circuits", nargs="+", metavar="CIRCUIT")
+    pf_census.add_argument(
+        "--universes", nargs="+", default=None, metavar="NAME",
+        help="restrict the census to these universes (default: all)",
+    )
+    pf_census.set_defaults(func=cmd_faults_census)
 
     return parser
 

@@ -23,7 +23,10 @@ The four registered fault classes mirror the paper's Section 5:
     inversion procedure, plus two-pattern SOF ATPG with fault dropping
     on the testable remainder (Sec. V-C).
 
-Registering a new fault class is one dict entry::
+Every runner sources its fault list from the unified universe registry
+(:func:`repro.faults.get_universe` — ``stuck_at`` / ``polarity`` /
+``stuck_open`` by name), so a new fault class is a registered
+:class:`~repro.faults.universe.FaultUniverse` plus one dict entry::
 
     >>> from repro.campaign.tasks import TASK_RUNNERS
     >>> sorted(TASK_RUNNERS)
@@ -46,15 +49,11 @@ from repro.atpg.fault_sim import (
     parallel_polarity_simulation,
     parallel_stuck_at_simulation,
 )
-from repro.atpg.faults import (
-    polarity_faults,
-    stuck_at_faults,
-    stuck_open_faults,
-)
 from repro.atpg.iddq import select_iddq_vectors
 from repro.atpg.podem import run_stuck_at_atpg
 from repro.atpg.polarity_atpg import run_polarity_atpg
 from repro.atpg.sof_atpg import run_sof_atpg
+from repro.faults import get_universe
 from repro.logic.network import Network
 
 TaskRunner = Callable[[Network, str], dict]
@@ -66,7 +65,7 @@ def classic_stuck_at_testset(
     """PODEM with fault dropping + greedy compaction: the classic
     production test set (the baseline every escape metric is against).
     """
-    faults = stuck_at_faults(network)
+    faults = get_universe("stuck_at").collapse(network)
     atpg = run_stuck_at_atpg(network, faults, max_backtracks, engine=engine)
     compacted = compact_tests(network, atpg.tests, faults)
     return compacted.vectors
@@ -74,7 +73,7 @@ def classic_stuck_at_testset(
 
 def run_stuck_at_task(network: Network, engine: str = "compiled") -> dict:
     """Sec. V-A baseline: full stuck-at ATPG + compaction + fault sim."""
-    faults = stuck_at_faults(network)
+    faults = get_universe("stuck_at").collapse(network)
     atpg = run_stuck_at_atpg(network, faults, engine=engine)
     compacted = compact_tests(network, atpg.tests, faults)
     sim = parallel_stuck_at_simulation(network, faults, compacted.vectors)
@@ -93,7 +92,7 @@ def run_polarity_task(network: Network, engine: str = "compiled") -> dict:
     """Sec. V-B gap: polarity escapes of the classic set vs. the
     polarity-aware ATPG.  Circuits without DP gates report ``None``
     coverages (rendered as ``n/a``)."""
-    faults = polarity_faults(network)
+    faults = get_universe("polarity").collapse(network)
     if not faults:
         return {
             "n_faults": 0,
@@ -123,7 +122,7 @@ def run_polarity_task(network: Network, engine: str = "compiled") -> dict:
 
 def run_iddq_task(network: Network, engine: str = "compiled") -> dict:
     """Sec. V-B screening: greedy compact IDDQ vector selection."""
-    faults = polarity_faults(network)
+    faults = get_universe("polarity").collapse(network)
     if not faults:
         return {
             "n_faults": 0,
@@ -145,7 +144,7 @@ def run_iddq_task(network: Network, engine: str = "compiled") -> dict:
 def run_stuck_open_task(network: Network, engine: str = "compiled") -> dict:
     """Sec. V-C census: masked channel breaks + two-pattern SOF ATPG
     with fault dropping on the testable remainder."""
-    faults = stuck_open_faults(network)
+    faults = get_universe("stuck_open").collapse(network)
     atpg = run_sof_atpg(network, faults, drop_detected=True, engine=engine)
     return {
         "n_faults": len(faults),

@@ -21,6 +21,7 @@ from repro.core.detection import (
     IDDQ_DETECT_RATIO,
     VectorObservation,
     characterise_fault,
+    screen_cell_faults,
 )
 from repro.core.fault_models import (
     ChannelBreakFault,
@@ -43,7 +44,6 @@ from repro.core.inductive import (
 from repro.core.test_algorithms import (
     ChannelBreakProcedure,
     ChannelBreakStep,
-    PolarityFaultRow,
     TwoPatternTest,
     channel_break_procedure,
     polarity_fault_table,
@@ -51,6 +51,10 @@ from repro.core.test_algorithms import (
     simulate_two_pattern,
     two_pattern_sof_tests,
 )
+# Canonical cross-layer record (the historical PolarityFaultRow name is
+# kept re-exported; the repro.core.test_algorithms path is the shim).
+from repro.faults.records import PolarityFaultRecord
+from repro.faults.records import PolarityFaultRecord as PolarityFaultRow
 
 __all__ = [
     "ApplicableModel",
@@ -71,6 +75,7 @@ __all__ = [
     "IFAResult",
     "IFASummary",
     "InterconnectBridgeFault",
+    "PolarityFaultRecord",
     "PolarityFaultRow",
     "StuckAtNType",
     "StuckAtPType",
@@ -87,6 +92,7 @@ __all__ = [
     "polarity_fault_table",
     "run_channel_break_procedure",
     "run_ifa",
+    "screen_cell_faults",
     "simulate_two_pattern",
     "summarise_ifa",
     "table_i_rows",

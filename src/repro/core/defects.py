@@ -89,6 +89,15 @@ class DefectSite:
     detail: str
 
 
+#: Explicit sort rank per mechanism (Table I order) backing the
+#: deterministic ordering contract of :func:`enumerate_defect_sites`.
+_MECHANISM_RANK = {m: k for k, m in enumerate(DefectMechanism)}
+
+
+def _site_sort_key(site: DefectSite) -> tuple[int, str, str]:
+    return (_MECHANISM_RANK[site.mechanism], site.transistor, site.detail)
+
+
 def enumerate_defect_sites(cell: Cell) -> list[DefectSite]:
     """All single-defect sites of a cell, mechanism by mechanism.
 
@@ -101,6 +110,12 @@ def enumerate_defect_sites(cell: Cell) -> list[DefectSite]:
     * Interconnect bridge: unordered pairs of distinct signal nets.
     * Floating gate: per transistor, each signal-driven gate terminal can
       lose its connection.
+
+    Ordering contract: the returned list is explicitly sorted by
+    ``(mechanism, transistor, detail)`` with mechanisms in Table I
+    (enum definition) order — never by dict/set iteration — so fault
+    censuses, campaign stores and the CI golden files are stable across
+    platforms and Python versions.
     """
     sites: list[DefectSite] = []
     for t in cell.transistors:
@@ -138,7 +153,7 @@ def enumerate_defect_sites(cell: Cell) -> list[DefectSite]:
                     DefectMechanism.INTERCONNECT_BRIDGE, "", f"{a}-{b}"
                 )
             )
-    return sites
+    return sorted(sites, key=_site_sort_key)
 
 
 def table_i_rows() -> list[tuple[str, str, str]]:

@@ -7,6 +7,12 @@ observables the paper uses:
 * **IDDQ** — static supply current ratio vs fault-free (Section V-B's
   ">x10^6" criterion),
 * **delay** — transient propagation-delay ratio (delay-fault testing).
+
+The static truth-table/IDDQ observations run on the batched analog
+engine (one vectorized multi-point Newton solve over the whole input
+cube per testbench); :func:`screen_cell_faults` drives that measurement
+over a cell's circuit-fault universe from :mod:`repro.faults` — the
+SPICE-side screen of the unified fault API.
 """
 
 from __future__ import annotations
@@ -14,11 +20,11 @@ from __future__ import annotations
 import dataclasses
 import itertools
 
-from repro.core.fault_models import CircuitFault
+from repro.core.fault_models import CircuitFault, InterconnectBridgeFault
 from repro.gates.builder import build_cell_circuit
 from repro.gates.cell import Cell
 from repro.gates.characterize import transition_delay
-from repro.spice.dc import solve_dc
+from repro.spice.batched import solve_dc_sweep
 from repro.spice.measure import logic_level
 
 #: Leakage ratio above which a fault counts as IDDQ-detectable.
@@ -83,20 +89,24 @@ class DetectionReport:
 
 
 def _static_observations(bench) -> list[VectorObservation]:
-    observations = []
-    for vector in itertools.product((0, 1), repeat=bench.cell.n_inputs):
-        bench.set_vector(vector)
-        op = solve_dc(bench.circuit)
-        v_out = op.voltage("out")
-        observations.append(
-            VectorObservation(
-                vector=vector,
-                v_out=v_out,
-                logic_out=logic_level(v_out, bench.vdd),
-                iddq=op.supply_current("vdd"),
-            )
+    """Truth table + IDDQ over the full input cube, as one batched
+    multi-point DC solve (``mode="exact"``: per-point identical to the
+    historical vector-at-a-time :func:`repro.spice.dc.solve_dc` loop)."""
+    vectors = list(itertools.product((0, 1), repeat=bench.cell.n_inputs))
+    sweep = solve_dc_sweep(
+        bench.circuit, [bench.vector_bias(v) for v in vectors]
+    )
+    v_out = sweep.voltages("out")
+    iddq = sweep.supply_currents("vdd")
+    return [
+        VectorObservation(
+            vector=vector,
+            v_out=float(v_out[k]),
+            logic_out=logic_level(float(v_out[k]), bench.vdd),
+            iddq=float(iddq[k]),
         )
-    return observations
+        for k, vector in enumerate(vectors)
+    ]
 
 
 def characterise_fault(
@@ -106,6 +116,7 @@ def characterise_fault(
     measure_delay: bool = True,
     delay_input: str | None = None,
     delay_other_bits: dict[str, int] | None = None,
+    good_reference: tuple | None = None,
 ) -> DetectionReport:
     """Inject ``fault`` into a fresh testbench and measure detectability.
 
@@ -118,12 +129,19 @@ def characterise_fault(
             to the first input).
         delay_other_bits: Static values of the remaining inputs during
             the delay measurement (defaults to the all-zeros side).
+        good_reference: Precomputed ``(good_bench, good_observations)``
+            for this ``(cell, fanout)`` — the fault-free measurement is
+            fault-independent, so screens over a whole universe share
+            one reference instead of re-solving it per fault.
     """
-    good_bench = build_cell_circuit(cell, fanout=fanout)
+    if good_reference is None:
+        good_bench = build_cell_circuit(cell, fanout=fanout)
+        good_obs = _static_observations(good_bench)
+    else:
+        good_bench, good_obs = good_reference
     bad_bench = build_cell_circuit(cell, fanout=fanout)
     fault.apply(bad_bench)
 
-    good_obs = _static_observations(good_bench)
     bad_obs = _static_observations(bad_bench)
 
     output_vectors = []
@@ -165,3 +183,56 @@ def characterise_fault(
         delay_ratio=delay_ratio,
         observations=tuple(bad_obs),
     )
+
+
+def _resolve_bench_nets(cell: Cell, fault: CircuitFault) -> CircuitFault:
+    """Rewrite cell-template net names to testbench net names.
+
+    :func:`~repro.gates.builder.build_cell_circuit` keeps inputs,
+    complements and ``out`` unprefixed and namespaces internal nets
+    under ``{cell}.``; net-addressed descriptors (interconnect bridges)
+    must follow that mapping before injection.
+    """
+    if not isinstance(fault, InterconnectBridgeFault):
+        return fault
+    public = set(cell.inputs) | set(cell.complement_nets()) | {"out"}
+
+    def resolve(net: str) -> str:
+        return net if net in public else f"{cell.name.lower()}.{net}"
+
+    return dataclasses.replace(
+        fault, net_a=resolve(fault.net_a), net_b=resolve(fault.net_b)
+    )
+
+
+def screen_cell_faults(
+    cell: Cell,
+    faults: list[CircuitFault] | None = None,
+    fanout: int = 4,
+    measure_delay: bool = False,
+) -> list[DetectionReport]:
+    """Batched SPICE screen of a cell's circuit-fault universe.
+
+    ``faults`` defaults to the full lowered Table I universe of the cell
+    (:func:`repro.faults.circuit_faults_for_cell`); each fault is
+    injected into a fresh FO-``fanout`` testbench and measured with the
+    batched truth-table/IDDQ observation (delay optional — transients
+    dominate the runtime).  Reports come back in universe order, so the
+    screen composes with the census and campaign tables.
+    """
+    if faults is None:
+        from repro.faults import circuit_faults_for_cell
+
+        faults = circuit_faults_for_cell(cell)
+    good_bench = build_cell_circuit(cell, fanout=fanout)
+    good_reference = (good_bench, _static_observations(good_bench))
+    return [
+        characterise_fault(
+            cell,
+            _resolve_bench_nets(cell, fault),
+            fanout=fanout,
+            measure_delay=measure_delay,
+            good_reference=good_reference,
+        )
+        for fault in faults
+    ]

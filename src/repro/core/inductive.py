@@ -7,6 +7,11 @@ fault model(s) that can test for it.  :func:`run_ifa` performs the whole
 campaign in the switch-level domain (fast, exhaustive);
 :mod:`repro.core.detection` provides the SPICE-domain deep dives used by
 the figure benchmarks.
+
+The defect-site → switch-state mapping is shared with the unified
+fault-universe API (:mod:`repro.faults`): network-scale enumeration and
+cross-layer lowering live there (``get_universe("defect_mechanism")``),
+while this module keeps the per-cell behavioural classification.
 """
 
 from __future__ import annotations
@@ -47,21 +52,17 @@ class IFAResult:
 
 
 def _switch_state_for_site(site: DefectSite) -> DeviceState | None:
-    """Switch-level image of a defect site, when one exists."""
-    m = site.mechanism
-    if m is DefectMechanism.NANOWIRE_BREAK:
-        return DeviceState.STUCK_OPEN
-    if m is DefectMechanism.TERMINAL_BRIDGE:
-        if site.detail == "pg-vdd":
-            return DeviceState.STUCK_AT_N
-        if site.detail == "pg-gnd":
-            return DeviceState.STUCK_AT_P
-        return None  # cg-pg bridges need analog treatment
-    if m is DefectMechanism.FLOATING_GATE:
-        if site.detail in ("pgs", "pgd"):
-            return DeviceState.FLOATING_PG
-        return None  # floating CG: analog (coupling-dependent)
-    return None
+    """Switch-level image of a defect site, when one exists.
+
+    Delegates to the shared cross-layer lowering of
+    :func:`repro.faults.physical.switch_state_for_site` (imported
+    lazily: ``repro.faults`` wraps this module's site enumeration, so a
+    top-level import would be circular), keeping the IFA sweep and the
+    fault-universe API on one mapping.
+    """
+    from repro.faults.physical import switch_state_for_site
+
+    return switch_state_for_site(site)
 
 
 def _classify_site(cell: Cell, site: DefectSite) -> IFAResult:

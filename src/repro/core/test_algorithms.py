@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 
+from repro.faults.records import PolarityFaultRecord
 from repro.gates.cell import Cell, DYNAMIC_POLARITY
 from repro.logic.switch_level import (
     DeviceState,
@@ -33,6 +34,29 @@ from repro.logic.switch_level import (
     evaluate,
 )
 from repro.logic.values import ONE, Z, ZERO
+
+
+def __getattr__(name: str):
+    if name == "PolarityFaultRow":
+        # Historical duplicate of the canonical Table III record; kept
+        # importable as a thin shim (note: the canonical record is
+        # constructed with ``kind='n'|'p'`` instead of a ``fault_type``
+        # string, which it derives as a property).
+        import warnings
+
+        from repro.faults.universe import ReproDeprecationWarning
+
+        warnings.warn(
+            "repro.core.test_algorithms.PolarityFaultRow is deprecated; "
+            "use repro.faults.PolarityFaultRecord (note the changed "
+            "constructor: kind='n'|'p' replaces the fault_type string, "
+            "which is now a derived property, and transistor comes "
+            "first)",
+            ReproDeprecationWarning,
+            stacklevel=2,
+        )
+        return PolarityFaultRecord
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -155,24 +179,17 @@ def simulate_two_pattern(
 # ---------------------------------------------------------------------------
 # Table III
 # ---------------------------------------------------------------------------
-
-@dataclasses.dataclass(frozen=True)
-class PolarityFaultRow:
-    """One row of Table III."""
-
-    fault_type: str  # 'stuck-at n-type' | 'stuck-at p-type'
-    transistor: str
-    detecting_vector: tuple[int, ...] | None
-    leakage_detect: bool
-    output_detect: bool
+# The row record itself is the canonical cross-layer
+# :class:`repro.faults.records.PolarityFaultRecord`; the historical
+# ``PolarityFaultRow`` name shims to it (see ``__getattr__`` above).
 
 
-def polarity_fault_table(cell: Cell) -> list[PolarityFaultRow]:
+def polarity_fault_table(cell: Cell) -> list[PolarityFaultRecord]:
     """Exhaustive stuck-at n-/p-type analysis of a cell (Table III)."""
-    rows: list[PolarityFaultRow] = []
-    for fault_type, state in (
-        ("stuck-at n-type", DeviceState.STUCK_AT_N),
-        ("stuck-at p-type", DeviceState.STUCK_AT_P),
+    rows: list[PolarityFaultRecord] = []
+    for kind, state in (
+        ("n", DeviceState.STUCK_AT_N),
+        ("p", DeviceState.STUCK_AT_P),
     ):
         for t in cell.transistors:
             behaviour = detection_behaviour(cell, t.name, state)
@@ -184,9 +201,9 @@ def polarity_fault_table(cell: Cell) -> list[PolarityFaultRow]:
             if detecting:
                 vector, report = detecting[0]
                 rows.append(
-                    PolarityFaultRow(
-                        fault_type=fault_type,
+                    PolarityFaultRecord(
                         transistor=t.name,
+                        kind=kind,
                         detecting_vector=vector,
                         leakage_detect=report["iddq_detect"],
                         output_detect=report["output_detect"],
@@ -194,9 +211,9 @@ def polarity_fault_table(cell: Cell) -> list[PolarityFaultRow]:
                 )
             else:
                 rows.append(
-                    PolarityFaultRow(
-                        fault_type=fault_type,
+                    PolarityFaultRecord(
                         transistor=t.name,
+                        kind=kind,
                         detecting_vector=None,
                         leakage_detect=False,
                         output_detect=False,

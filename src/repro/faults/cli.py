@@ -1,0 +1,97 @@
+"""``python -m repro faults`` — fault-universe registry tools.
+
+Two subcommands, both thin wrappers over the registry protocol:
+
+* ``repro faults list`` — every registered universe with its layer and
+  description (:func:`format_universe_list`);
+* ``repro faults census <circuit> [...]`` — per-universe fault counts
+  before/after collapsing, plus the kind breakdown, for registry
+  circuits (:func:`format_census`).
+
+CI diffs the census of two smoke circuits against the checked-in golden
+``tests/golden/faults_census_smoke.txt``, so any change to an
+enumerator, a collapsing rule or the site ordering shows up as a
+reviewable diff.
+
+Examples (doctested; ``tmr_voter`` is a single DP MAJ3 gate, four
+transistors)::
+
+    >>> listing = format_universe_list().splitlines()
+    >>> [cell.strip() for cell in listing[0].split("|")]
+    ['universe', 'layer', 'description']
+    >>> sum(1 for line in listing if line.startswith("stuck_at"))
+    1
+
+    >>> census = format_census("tmr_voter")
+    >>> print(census.splitlines()[0])
+    circuit: tmr_voter (1 gates, 3 PIs, 1 POs)
+    >>> def row(universe):
+    ...     line = next(
+    ...         l for l in census.splitlines() if l.startswith(universe)
+    ...     )
+    ...     return [cell.strip() for cell in line.split("|")]
+    >>> row("stuck_at")[2:4]          # 14 faults, 8 after collapsing
+    ['14', '8']
+    >>> row("polarity")[4]            # 4 transistors x {n, p}
+    'sa-n-type:4 sa-p-type:4'
+    >>> row("device_defect")[2]       # (break + 3 GOS + drift) x 4
+    '20'
+"""
+
+from __future__ import annotations
+
+from repro.faults.universe import get_universe, universe_names
+
+
+def format_universe_list() -> str:
+    """Render the registry as a fixed-width table (physics-first)."""
+    from repro.analysis.report import ascii_table
+
+    rows = []
+    for name in universe_names():
+        universe = get_universe(name)
+        rows.append((name, universe.layer, universe.description))
+    return ascii_table(("universe", "layer", "description"), rows)
+
+
+def format_census(circuit: str, universes: list[str] | None = None) -> str:
+    """Census of one registry circuit across (selected) universes.
+
+    ``faults`` is the full enumeration, ``collapsed`` the size after
+    equivalence/benignity collapsing; ``kinds`` breaks the enumeration
+    down by the universe's census buckets.
+    """
+    from repro.analysis.report import ascii_table
+    from repro.campaign.registry import get_registry
+
+    network = get_registry().load(circuit)
+    stats = network.stats()
+    names = universes if universes is not None else universe_names()
+    rows = []
+    for name in names:
+        s = get_universe(name).stats(network)
+        kinds = " ".join(f"{k}:{n}" for k, n in s.by_kind)
+        rows.append((s.universe, s.layer, s.n_faults, s.n_collapsed, kinds))
+    header = (
+        f"circuit: {circuit} ({stats['gates']} gates, "
+        f"{stats['inputs']} PIs, {stats['outputs']} POs)"
+    )
+    table = ascii_table(
+        ("universe", "layer", "faults", "collapsed", "kinds"), rows
+    )
+    return f"{header}\n{table}"
+
+
+def cmd_faults_list(args) -> int:
+    del args
+    print(format_universe_list())
+    return 0
+
+
+def cmd_faults_census(args) -> int:
+    blocks = [
+        format_census(circuit, universes=args.universes)
+        for circuit in args.circuits
+    ]
+    print("\n\n".join(blocks))
+    return 0

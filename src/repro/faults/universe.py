@@ -1,0 +1,207 @@
+"""Fault-universe abstraction and the string-keyed universe registry.
+
+A :class:`FaultUniverse` is one closed set of fault-shaped objects at a
+fixed abstraction layer, with a uniform protocol:
+
+* :meth:`~FaultUniverse.enumerate` — every single-fault site of a
+  network, in deterministic order;
+* :meth:`~FaultUniverse.collapse` — the equivalence/benignity-pruned
+  list actually targeted by test generation;
+* :meth:`~FaultUniverse.lower` / :meth:`~FaultUniverse.image` — the
+  cross-layer hops of the paper's methodology (fabrication mechanism →
+  device defect → circuit fault → logic fault model);
+* :meth:`~FaultUniverse.stats` — a census record for reports and the
+  ``python -m repro faults census`` CLI.
+
+Universes register under a string key (:func:`register_universe`) so
+campaign tasks, the CLI and tests can select them by name
+(:func:`get_universe`).  Adding a new fault class to the repo is one
+registry entry — implement the protocol and register it; the ATPG,
+campaign and census layers pick it up by name.
+
+The four layers, ordered from fabrication physics to ATPG abstraction,
+are listed in :data:`LAYERS`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Sequence
+
+from repro.logic.network import Network
+
+#: Abstraction layers, ordered from fabrication physics to ATPG.
+LAYERS: tuple[str, ...] = ("mechanism", "device", "circuit", "logic")
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """First-party deprecation category.
+
+    Every deprecation shim in this repo warns with this category so the
+    test suite can escalate *first-party* shim use to an error (see
+    ``pytest.ini``) without touching third-party DeprecationWarnings.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class UniverseStats:
+    """Census record of one universe over one network.
+
+    Attributes:
+        universe: Registry name.
+        layer: One of :data:`LAYERS`.
+        n_faults: Full enumeration size (before collapsing).
+        n_collapsed: Size after :meth:`FaultUniverse.collapse`.
+        by_kind: Deterministic ``(kind, count)`` breakdown of the full
+            enumeration, sorted by kind.
+    """
+
+    universe: str
+    layer: str
+    n_faults: int
+    n_collapsed: int
+    by_kind: tuple[tuple[str, int], ...]
+
+
+class FaultUniverse(abc.ABC):
+    """One registered fault universe (see the module docstring).
+
+    Subclasses set :attr:`name`, :attr:`layer` and :attr:`description`
+    and implement :meth:`enumerate`; the remaining protocol has
+    universe-agnostic defaults (identity collapse, no lowering).
+    """
+
+    #: Registry key (``get_universe(name)``).
+    name: str = ""
+    #: One of :data:`LAYERS`.
+    layer: str = "logic"
+    #: One-line description for ``python -m repro faults list``.
+    description: str = ""
+
+    @abc.abstractmethod
+    def enumerate(self, network: Network) -> list:
+        """Every single-fault site of ``network``, deterministically
+        ordered (the same network always yields the same list)."""
+
+    def collapse(self, network: Network, faults: Sequence | None = None) -> list:
+        """Equivalence-collapsed fault list.
+
+        With ``faults`` given, prunes that list; otherwise collapses the
+        canonical enumeration.  The default is the identity (universes
+        without collapsing rules).
+        """
+        return list(self.enumerate(network) if faults is None else faults)
+
+    def lower(self, network: Network, fault) -> list[tuple[str, object]]:
+        """One hop toward the logic layer.
+
+        Returns ``(universe_name, fault)`` pairs — the images of
+        ``fault`` one abstraction layer down.  Logic-layer universes
+        return ``[]`` (they are the fixed points of lowering).  A
+        non-logic fault with no representation in the repo's fault
+        vocabulary also lowers to ``[]`` (e.g. an interconnect bridge,
+        which needs analog bridging analysis).
+        """
+        del network, fault
+        return []
+
+    def image(self, network: Network, fault) -> list:
+        """Transitive logic-layer image of ``fault``.
+
+        Walks :meth:`lower` hops until every branch reaches a logic
+        universe; returns the deduplicated logic faults in first-seen
+        order.  A logic fault is its own image.
+        """
+        if self.layer == "logic":
+            return [fault]
+        frontier: list[tuple[str, object]] = [(self.name, fault)]
+        out: list = []
+        seen: set = set()
+        while frontier:
+            universe_name, f = frontier.pop(0)
+            universe = get_universe(universe_name)
+            if universe.layer == "logic":
+                if f not in seen:
+                    seen.add(f)
+                    out.append(f)
+                continue
+            frontier.extend(universe.lower(network, f))
+        return out
+
+    def fault_name(self, fault) -> str:
+        """Stable display name of one fault."""
+        name = getattr(fault, "name", None)
+        return name if isinstance(name, str) else str(fault)
+
+    def kind_of(self, fault) -> str:
+        """Census bucket of one fault (override for finer breakdowns)."""
+        return type(fault).__name__
+
+    def stats(self, network: Network) -> UniverseStats:
+        """Census of this universe over ``network``."""
+        faults = self.enumerate(network)
+        by_kind: dict[str, int] = {}
+        for fault in faults:
+            kind = self.kind_of(fault)
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        return UniverseStats(
+            universe=self.name,
+            layer=self.layer,
+            n_faults=len(faults),
+            n_collapsed=len(self.collapse(network)),
+            by_kind=tuple(sorted(by_kind.items())),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, FaultUniverse] = {}
+
+
+def register_universe(
+    name: str, universe: FaultUniverse, replace: bool = False
+) -> FaultUniverse:
+    """Register ``universe`` under ``name``.
+
+    Re-registering an existing name raises unless ``replace`` is set
+    (tests and downstream plugins may override built-ins).  Returns the
+    universe so the call composes with assignment.
+    """
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"fault universe {name!r} is already registered; "
+            f"pass replace=True to override"
+        )
+    if universe.layer not in LAYERS:
+        raise ValueError(
+            f"universe {name!r} has unknown layer {universe.layer!r}; "
+            f"expected one of {LAYERS}"
+        )
+    universe.name = name
+    _REGISTRY[name] = universe
+    return universe
+
+
+def get_universe(name: str) -> FaultUniverse:
+    """Look up a registered universe by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault universe {name!r}; "
+            f"available: {universe_names()}"
+        ) from None
+
+
+def universe_names() -> list[str]:
+    """Registered universe names, ordered physics-first.
+
+    Sorted by (layer depth, name) so censuses and listings follow the
+    paper's narrative: fabrication mechanisms down to logic models.
+    """
+    return sorted(
+        _REGISTRY, key=lambda n: (LAYERS.index(_REGISTRY[n].layer), n)
+    )

@@ -42,7 +42,7 @@ mechanisms:
   binary input tuples to 0/1/X (any non-binary pin yields X).  This
   models the paper's polarity faults, whose faulty tables come from the
   switch-level engine via
-  :meth:`repro.atpg.faults.PolarityFault.faulty_table`.
+  :meth:`repro.faults.PolarityFault.faulty_table`.
 
 **Compilation memo.**  :func:`compile_network` maps a
 :class:`~repro.logic.network.Network` to its :class:`CompiledNetwork`

@@ -23,8 +23,8 @@ from repro.atpg import (
     run_stuck_at_atpg,
     stuck_at_faults,
 )
-from repro.atpg.faults import StuckAtFault
 from repro.atpg.podem_compiled import compiled_justify_and_propagate
+from repro.faults import StuckAtFault
 from repro.circuits import BENCHMARK_BUILDERS, build_benchmark
 from repro.logic.compiled import (
     compile_network,
