@@ -11,13 +11,24 @@ then writes a machine-readable perf record to ``BENCH_atpg.json`` at
 the repository root (the perf-trajectory seed; CI uploads it as an
 artifact).
 
+A second, **scaling** tier covers the multi-word 2-D engine on the
+ISCAS-class corpus (``benchmarks/netlists/``): a full stuck-at +
+polarity random-simulation campaign (the ``fault_sim`` task) per
+corpus circuit, with a single-digit-second wall-clock bar on the
+>=1000-gate cpx1908.  Both tiers land in the same ``BENCH_atpg.json``
+record (schema v2: classic engine comparison under ``records``,
+corpus sweeps under ``scaling``).
+
 Dual-mode: run under pytest (``pytest benchmarks/bench_atpg_speed.py``)
 for the full bars, or standalone::
 
     PYTHONPATH=src python benchmarks/bench_atpg_speed.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_atpg_speed.py --scaling
 
-``--smoke`` is the CI perf-regression gate: one timing round and a
-relaxed 2x bar so shared-runner jitter cannot fail a healthy build.
+``--smoke`` is the CI perf-regression gate: one timing round and
+relaxed bars so shared-runner jitter cannot fail a healthy build.
+``--scaling`` runs only the corpus tier (the CI scaling-smoke job
+pairs it with ``--smoke``).
 """
 
 import argparse
@@ -36,6 +47,12 @@ CIRCUITS = ("rca8", "rca16", "alu4")
 #: Acceptance circuits and their required end-to-end speedup.
 SPEEDUP_BARS = {"rca16": 5.0, "alu4": 5.0}
 SMOKE_BAR = 2.0
+#: Scaling tier: ISCAS-class corpus circuits for the multi-word sweep.
+SCALING_CIRCUITS = ("cpx432", "cpx880", "cpx1908")
+#: The ISSUE acceptance bar — full stuck-at + polarity campaign on the
+#: >=1000-gate circuit in single-digit seconds (relaxed under --smoke).
+SCALING_BARS_S = {"cpx1908": 9.0}
+SCALING_SMOKE_BAR_S = 30.0
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_atpg.json"
 
 
@@ -87,6 +104,70 @@ def run_campaigns(circuits=CIRCUITS, repeats=3):
     return records
 
 
+def run_scaling(circuits=SCALING_CIRCUITS, repeats=2):
+    """Time the multi-word fault_sim campaign on the corpus circuits."""
+    from repro.campaign.registry import get_registry
+    from repro.campaign.tasks import FAULT_SIM_VECTORS, run_fault_sim_task
+
+    registry = get_registry()
+    records = []
+    for name in circuits:
+        network = registry.load(name)
+        seconds, metrics = _best_of(
+            lambda: run_fault_sim_task(network, engine="auto"), repeats
+        )
+        records.append({
+            "circuit": name,
+            "gates": len(network.gates),
+            "vectors": FAULT_SIM_VECTORS,
+            "stuck_at_faults": metrics["n_stuck_at_faults"],
+            "stuck_at_coverage": metrics["stuck_at_coverage"],
+            "polarity_faults": metrics["n_polarity_faults"],
+            "polarity_iddq_coverage": metrics["polarity_iddq_coverage"],
+            "seconds": seconds,
+        })
+    return records
+
+
+def format_scaling_report(records):
+    rows = [
+        (
+            r["circuit"], r["gates"], r["stuck_at_faults"],
+            r["polarity_faults"], r["vectors"],
+            f"{r['stuck_at_coverage'] * 100:.1f}%",
+            f"{r['polarity_iddq_coverage'] * 100:.1f}%",
+            f"{r['seconds']:.2f}",
+        )
+        for r in records
+    ]
+    return "\n".join([
+        "Scaling tier: multi-word 2-D fault x vector sweeps on the "
+        "ISCAS-class corpus",
+        ascii_table(
+            ("circuit", "gates", "sa faults", "pol faults", "vectors",
+             "sa cov", "iddq cov", "seconds"),
+            rows,
+        ),
+        "",
+        "Full stuck-at + polarity (voltage and IDDQ) random-vector",
+        "campaign per circuit through repro.logic.multiword: the fault",
+        "batch and the whole vector set simulate as one numpy uint64",
+        "sweep (fault-major x vector-word axes).",
+    ])
+
+
+def check_scaling_bars(records, bars):
+    failures = []
+    for r in records:
+        bar = bars.get(r["circuit"])
+        if bar is not None and r["seconds"] > bar:
+            failures.append(
+                f"{r['circuit']}: {r['seconds']:.2f}s over the "
+                f"{bar:.0f}s bar"
+            )
+    return failures
+
+
 def format_report(records):
     rows = [
         (
@@ -113,10 +194,11 @@ def format_report(records):
     ])
 
 
-def write_record(records, bars, path=RECORD_PATH):
+def write_record(records, bars, path=RECORD_PATH, scaling=None,
+                 scaling_bars=None):
     record = {
         "benchmark": "atpg_speed",
-        "schema_version": 1,
+        "schema_version": 2,
         "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
         "python": sys.version.split()[0],
         "engine": "compiled D-calculus PODEM vs legacy dict-based PODEM",
@@ -125,6 +207,26 @@ def write_record(records, bars, path=RECORD_PATH):
         "speedup_bars": bars,
         "records": records,
     }
+    if path.exists():
+        # Preserve whichever tier this invocation did not rerun, so
+        # --scaling and the classic run don't clobber each other.
+        try:
+            previous = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            previous = {}
+        if scaling is None:
+            scaling = previous.get("scaling")
+            scaling_bars = previous.get("scaling_bars_s", scaling_bars)
+        if not records:
+            record["records"] = previous.get("records", [])
+            record["speedup_bars"] = previous.get("speedup_bars", bars)
+    if scaling is not None:
+        record["scaling_workload"] = (
+            "run_fault_sim_task: multi-word stuck-at + polarity "
+            "random-vector campaign on the ISCAS-class corpus"
+        )
+        record["scaling_bars_s"] = scaling_bars or {}
+        record["scaling"] = scaling
     path.write_text(json.dumps(record, indent=2) + "\n")
     return path
 
@@ -159,27 +261,66 @@ def test_atpg_speed(once):
     assert not failures, "; ".join(failures)
 
 
+def test_scaling_tier(once):
+    scaling = run_scaling(repeats=2)
+    report = format_scaling_report(scaling)
+    print("\n" + report)
+    save_report("atpg_scaling", report)
+    write_record([], SPEEDUP_BARS, scaling=scaling,
+                 scaling_bars=SCALING_BARS_S)
+
+    def run_cpx1908_again():
+        from repro.campaign.registry import get_registry
+        from repro.campaign.tasks import run_fault_sim_task
+
+        return run_fault_sim_task(
+            get_registry().load("cpx1908"), engine="auto"
+        )
+
+    once(run_cpx1908_again)
+    failures = check_scaling_bars(scaling, SCALING_BARS_S)
+    assert not failures, "; ".join(failures)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke", action="store_true",
         help="CI gate: single timing round, relaxed "
-             f"{SMOKE_BAR:.0f}x bar",
+             f"{SMOKE_BAR:.0f}x / {SCALING_SMOKE_BAR_S:.0f}s bars",
+    )
+    parser.add_argument(
+        "--scaling", action="store_true",
+        help="run only the ISCAS-class corpus scaling tier",
     )
     parser.add_argument(
         "--out", type=Path, default=RECORD_PATH,
         help="perf-record path (default: repo-root BENCH_atpg.json)",
     )
     args = parser.parse_args(argv)
-    bars = (
-        {name: SMOKE_BAR for name in SPEEDUP_BARS}
-        if args.smoke else dict(SPEEDUP_BARS)
-    )
-    records = run_campaigns(repeats=1 if args.smoke else 3)
-    print(format_report(records))
-    path = write_record(records, bars, args.out)
+    repeats = 1 if args.smoke else 3
+    failures = []
+    if args.scaling:
+        records, bars = [], {}
+        scaling_bars = (
+            {name: SCALING_SMOKE_BAR_S for name in SCALING_BARS_S}
+            if args.smoke else dict(SCALING_BARS_S)
+        )
+        scaling = run_scaling(repeats=max(1, repeats - 1))
+        print(format_scaling_report(scaling))
+        failures += check_scaling_bars(scaling, scaling_bars)
+    else:
+        bars = (
+            {name: SMOKE_BAR for name in SPEEDUP_BARS}
+            if args.smoke else dict(SPEEDUP_BARS)
+        )
+        scaling, scaling_bars = None, None
+        records = run_campaigns(repeats=repeats)
+        print(format_report(records))
+        failures += check_bars(records, bars)
+    path = write_record(records, bars, args.out, scaling=scaling,
+                        scaling_bars=scaling_bars)
     print(f"\nperf record -> {path}")
-    failures = check_bars(records, bars)
     if failures:
         print("FAIL: " + "; ".join(failures))
         return 1

@@ -1,19 +1,28 @@
-"""Fault simulation campaigns on the compiled bit-parallel engine.
+"""Fault simulation campaigns on the compiled bit-parallel engines.
 
-Two layers live here:
+Three layers live here:
 
 * **Serial oracles** (:func:`detects_stuck_at`, :func:`detects_polarity`,
   :func:`detects_stuck_open`) — one fault, one vector, evaluated on the
   dict-based ternary simulator.  Slow but transparently close to the
-  definitions; the batched engine is validated against them
-  vector-for-vector in ``tests/test_compiled_engine.py``.
-* **Batched campaigns** (:func:`parallel_stuck_at_simulation`,
-  :func:`parallel_polarity_simulation`,
-  :func:`parallel_stuck_open_simulation`) and **detection matrices**
-  (:func:`stuck_at_detection_words` & friends) — whole fault lists over
-  whole vector sets on :class:`repro.logic.compiled.CompiledNetwork`,
-  with faults expressed as index-level :class:`~repro.logic.compiled.
-  FaultInjection` overrides instead of per-call dicts.
+  definitions; the batched engines are validated against them
+  vector-for-vector in ``tests/test_compiled_engine.py`` and
+  ``tests/test_multiword_engine.py``.
+* **Single-word batches** — up-to-64-vector passes on
+  :class:`repro.logic.compiled.CompiledNetwork` Python-int words with
+  per-fault delta resimulation; the fastest path for fault dropping
+  (one vector, one fault at a time).
+* **Multi-word 2-D batches** (:mod:`repro.logic.multiword`) — any
+  vector count x whole fault batches as vectorized numpy ``uint64``
+  sweeps; the scaling path for thousands-of-gate netlists.
+
+The campaign entry points (:func:`parallel_stuck_at_simulation`,
+:func:`parallel_polarity_simulation`,
+:func:`parallel_stuck_open_simulation`) and detection-matrix builders
+(:func:`stuck_at_detection_words` & friends) take ``engine="auto" |
+"multiword" | "compiled"`` and produce bit-identical results on every
+setting — ``auto`` (default) picks the multi-word engine once the
+(faults x vectors) problem is large enough to amortize numpy dispatch.
 
 The fault-injection override contract (line vs. pin vs. gate overrides)
 is documented once, in :mod:`repro.logic.compiled`.
@@ -48,11 +57,35 @@ from repro.logic.values import X, Z
 
 TestVector = Mapping[str, int]
 
-#: Vectors per batched pass.  Campaigns chunk so that fault dropping
-#: can skip already-detected faults on later chunks (64 balances word
-#: width against dropping granularity); detection-matrix builders pack
-#: everything into one pass.
+#: Vectors per batched pass of the single-word engine.  Campaigns chunk
+#: so that fault dropping can skip already-detected faults on later
+#: chunks (64 balances word width against dropping granularity);
+#: detection-matrix builders pack everything into one pass.
 _CHUNK_BITS = 64
+
+#: ``engine="auto"`` switches the campaign entry points to the
+#: multi-word fault-parallel engine once the (faults x vectors) problem
+#: is big enough that numpy dispatch overhead amortizes; below the
+#: thresholds the single-word per-fault delta path wins.
+_MULTIWORD_MIN_FAULTS = 64
+_MULTIWORD_MIN_BITS = 2 * _CHUNK_BITS
+
+
+def _use_multiword(engine: str, n_faults: int, n_vectors: int) -> bool:
+    """Resolve the campaign ``engine`` selector (see module doc)."""
+    if engine == "multiword":
+        return True
+    if engine == "compiled":
+        return False
+    if engine != "auto":
+        raise ValueError(
+            f"unknown fault-sim engine {engine!r}; "
+            "expected 'auto', 'multiword' or 'compiled'"
+        )
+    return (
+        n_vectors > _MULTIWORD_MIN_BITS
+        or n_faults >= _MULTIWORD_MIN_FAULTS
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -206,19 +239,49 @@ class FaultSimResult:
 # Batched stuck-at campaigns
 # ---------------------------------------------------------------------------
 
+def _multiword_detection_words(
+    cnet, injections: Sequence[FaultInjection],
+    vectors: Sequence[TestVector],
+) -> list[int]:
+    """One 2-D fault x vector sweep over the whole problem."""
+    from repro.logic import multiword as mw
+
+    mv = mw.pack_vectors_multiword(cnet, vectors)
+    good = mw.simulate_good(cnet, mv)
+    return mw.batch_detect(cnet, mv, good, injections)
+
+
+def _result_from_words(
+    names: Sequence[str], words: Sequence[int]
+) -> FaultSimResult:
+    """Fold a full detection matrix into first-detection campaign form."""
+    detected: dict[str, int] = {}
+    undetected: list[str] = []
+    for name, word in zip(names, words):
+        if word:
+            detected[name] = (word & -word).bit_length() - 1
+        else:
+            undetected.append(name)
+    return FaultSimResult(detected=detected, undetected=sorted(undetected))
+
+
 def stuck_at_detection_words(
     network: Network,
     faults: Sequence[StuckAtFault],
     vectors: Sequence[TestVector],
+    engine: str = "auto",
 ) -> list[int]:
     """Full detection matrix: per fault, a word whose bit ``k`` is set
     iff ``vectors[k]`` detects the fault (no dropping)."""
     cnet = compile_network(network)
+    injections = [stuck_at_injection(cnet, f) for f in faults]
+    if _use_multiword(engine, len(faults), len(vectors)):
+        return _multiword_detection_words(cnet, injections, vectors)
     packed = pack_vectors(cnet, vectors)
     good = cnet.simulate(packed)
     return [
-        cnet.detect_word(packed, good, stuck_at_injection(cnet, fault))
-        for fault in faults
+        cnet.detect_word(packed, good, injection)
+        for injection in injections
     ]
 
 
@@ -226,15 +289,23 @@ def parallel_stuck_at_simulation(
     network: Network,
     faults: Sequence[StuckAtFault],
     vectors: Sequence[TestVector],
+    engine: str = "auto",
 ) -> FaultSimResult:
     """Bit-parallel stuck-at campaign with fault dropping.
 
-    Processes :data:`_CHUNK_BITS` vectors per pass; a fault detected in
-    an earlier chunk is never re-simulated.
+    On the multi-word engine the whole (faults x vectors) matrix runs
+    as one 2-D sweep (dropping is implicit — everything is computed at
+    once); the single-word path processes :data:`_CHUNK_BITS` vectors
+    per pass and never re-simulates a fault detected in an earlier
+    chunk.  Both report the same first-detection indices.
     """
     cnet = compile_network(network)
     names = [f.name for f in faults]
     injections = [stuck_at_injection(cnet, f) for f in faults]
+    if _use_multiword(engine, len(faults), len(vectors)):
+        return _result_from_words(
+            names, _multiword_detection_words(cnet, injections, vectors)
+        )
     detected: dict[str, int] = {}
     undetected = set(names)
     for base in range(0, len(vectors), _CHUNK_BITS):
@@ -258,11 +329,45 @@ def parallel_stuck_at_simulation(
 # Batched polarity campaigns (voltage and IDDQ observables)
 # ---------------------------------------------------------------------------
 
+def _multiword_polarity_words(
+    cnet,
+    faults: Sequence[PolarityFault],
+    vectors: Sequence[TestVector],
+    iddq: bool,
+) -> list[int]:
+    """Multi-word polarity detection matrix (voltage or IDDQ mode).
+
+    Voltage mode is a fault-parallel table-override sweep; IDDQ mode
+    needs only the shared good simulation — per fault, the word of
+    vectors driving its gate into a conflict-activating combination.
+    """
+    from repro.logic import multiword as mw
+
+    mv = mw.pack_vectors_multiword(cnet, vectors)
+    good = mw.simulate_good(cnet, mv)
+    if not iddq:
+        return mw.batch_detect(
+            cnet, mv, good,
+            [polarity_injection(cnet, f) for f in faults],
+        )
+    words = []
+    for fault in faults:
+        pin_rows = mw.gate_input_rows(cnet, good, fault.gate)
+        word = 0
+        for minterm in fault.iddq_vectors():
+            word |= mw.int_from_words(
+                mw.minterm_word_multiword(pin_rows, minterm, mv.mask)
+            )
+        words.append(word)
+    return words
+
+
 def polarity_detection_words(
     network: Network,
     faults: Sequence[PolarityFault],
     vectors: Sequence[TestVector],
     iddq: bool = False,
+    engine: str = "auto",
 ) -> list[int]:
     """Per-fault detection words for polarity faults.
 
@@ -272,6 +377,8 @@ def polarity_detection_words(
     local combination.
     """
     cnet = compile_network(network)
+    if _use_multiword(engine, len(faults), len(vectors)):
+        return _multiword_polarity_words(cnet, faults, vectors, iddq)
     packed = pack_vectors(cnet, vectors)
     good = cnet.simulate(packed)
     words = []
@@ -296,9 +403,15 @@ def parallel_polarity_simulation(
     faults: Sequence[PolarityFault],
     vectors: Sequence[TestVector],
     iddq: bool = False,
+    engine: str = "auto",
 ) -> FaultSimResult:
     """Batched polarity-fault campaign (voltage or IDDQ observables)."""
     cnet = compile_network(network)
+    if _use_multiword(engine, len(faults), len(vectors)):
+        return _result_from_words(
+            [f.name for f in faults],
+            _multiword_polarity_words(cnet, faults, vectors, iddq),
+        )
     detected: dict[str, int] = {}
     undetected = {f.name for f in faults}
     for base in range(0, len(vectors), _CHUNK_BITS):
@@ -388,13 +501,71 @@ def _stuck_open_bad_words(
     return ones, zeros
 
 
+def _multiword_stuck_open_words(
+    cnet,
+    faults: Sequence[StuckOpenFault],
+    pairs: Sequence[tuple[TestVector, TestVector]],
+) -> list[int]:
+    """Multi-word two-pattern stuck-open detection matrix.
+
+    Mirrors :func:`_stuck_open_bad_words` on multi-word rows: per
+    fault, the retained/floating output under the test patterns is
+    assembled from the broken-gate table (Z entries copy the
+    init-pattern output bitwise), then the whole fault list runs as one
+    word-forced 2-D sweep against the shared good test simulation.
+    """
+    from repro.logic import multiword as mw
+
+    init_mv = mw.pack_vectors_multiword(cnet, [p[0] for p in pairs])
+    test_mv = mw.pack_vectors_multiword(cnet, [p[1] for p in pairs])
+    good_init = mw.simulate_good(cnet, init_mv)
+    good_test = mw.simulate_good(cnet, test_mv)
+    injections = []
+    for fault in faults:
+        table = _broken_local_table(fault.gtype, fault.transistor)
+        init_pins = mw.gate_input_rows(cnet, good_init, fault.gate)
+        test_pins = mw.gate_input_rows(cnet, good_test, fault.gate)
+        init_ones, init_zeros = mw._eval_table_row(
+            table, init_pins, init_mv.mask
+        )
+        ones = test_mv.mask & 0
+        zeros = test_mv.mask & 0
+        for minterm, value in table.items():
+            word = mw.minterm_word_multiword(
+                test_pins, minterm, test_mv.mask
+            )
+            if not word.any():
+                continue
+            if value == 1:
+                ones |= word
+            elif value == 0:
+                zeros |= word
+            elif value == Z:
+                ones |= word & init_ones
+                zeros |= word & init_zeros
+        injections.append(
+            FaultInjection(
+                words={
+                    cnet.gate_output_index(fault.gate): (
+                        mw.int_from_words(ones),
+                        mw.int_from_words(zeros),
+                    )
+                }
+            )
+        )
+    return mw.batch_detect(cnet, test_mv, good_test, injections)
+
+
 def stuck_open_detection_words(
     network: Network,
     faults: Sequence[StuckOpenFault],
     pairs: Sequence[tuple[TestVector, TestVector]],
+    engine: str = "auto",
 ) -> list[int]:
     """Per-fault detection words over (init, test) two-pattern pairs."""
     cnet = compile_network(network)
+    if _use_multiword(engine, len(faults), len(pairs)):
+        return _multiword_stuck_open_words(cnet, faults, pairs)
     init_packed = pack_vectors(cnet, [p[0] for p in pairs])
     test_packed = pack_vectors(cnet, [p[1] for p in pairs])
     good_init = cnet.simulate(init_packed)
@@ -420,9 +591,13 @@ def parallel_stuck_open_simulation(
     network: Network,
     faults: Sequence[StuckOpenFault],
     pairs: Sequence[tuple[TestVector, TestVector]],
+    engine: str = "auto",
 ) -> FaultSimResult:
     """Batched two-pattern stuck-open campaign with fault dropping."""
     cnet = compile_network(network)
+    if _use_multiword(engine, len(faults), len(pairs)):
+        words = _multiword_stuck_open_words(cnet, faults, pairs)
+        return _result_from_words([f.name for f in faults], words)
     detected: dict[str, int] = {}
     undetected = {f.name for f in faults}
     for base in range(0, len(pairs), _CHUNK_BITS):

@@ -433,8 +433,9 @@ def run_stuck_at_atpg(
     always runs on the compiled simulator.
     """
     from repro.atpg.fault_sim import stuck_at_injection
+    from repro.atpg.podem_compiled import batch_drop_detected
     from repro.faults import get_universe
-    from repro.logic.compiled import compile_network, pack_vectors
+    from repro.logic.compiled import compile_network
 
     if faults is None:
         faults = get_universe("stuck_at").collapse(network)
@@ -462,14 +463,13 @@ def run_stuck_at_atpg(
             vector.setdefault(net, 0)
         index = len(tests)
         tests.append(vector)
-        packed = pack_vectors(cnet, [vector])
-        good = cnet.simulate(packed)
-        detect_word = cnet.detect_word
-        for name, injection in zip(names, injections):
-            if name in detected or name in dead:
-                continue
-            if detect_word(packed, good, injection):
-                detected[name] = index
+        pending = {
+            name: injection
+            for name, injection in zip(names, injections)
+            if name not in detected and name not in dead
+        }
+        for name in batch_drop_detected(cnet, vector, pending):
+            detected[name] = index
         if fault_name not in detected:
             # PODEM claimed success but simulation disagrees; the fault
             # stays live for collateral detection and is reported as

@@ -562,3 +562,42 @@ def compiled_justify_and_propagate(
         machine.set_pi(pi, value)
         stack.append((pi, value, False))
     return PodemResult(False, {}, backtracks, aborted=True)
+
+
+_BATCH_DROP_MIN_FAULTS = 512
+
+
+def batch_drop_detected(
+    cnet: CompiledNetwork,
+    vector: Mapping[str, int],
+    pending: Mapping[str, "FaultInjection"],
+) -> set[str]:
+    """Names in ``pending`` whose fault ``vector`` detects.
+
+    The fault-dropping inner loop of :func:`repro.atpg.podem.
+    run_stuck_at_atpg`: one freshly generated test against every
+    still-undetected fault.  Below ``_BATCH_DROP_MIN_FAULTS`` pending
+    faults the per-fault single-word :meth:`CompiledNetwork.detect_word`
+    resimulation wins (one vector packs into one bit); at ISCAS scale
+    the pending set dominates, so the whole set runs as a single
+    fault-major 2-D sweep on :mod:`repro.logic.multiword` instead of a
+    Python loop of full resimulations.  Both paths score detection with
+    the same strict dual-rail diff, so the drop set is bit-identical.
+    """
+    names = list(pending)
+    if len(names) >= _BATCH_DROP_MIN_FAULTS:
+        from repro.logic import multiword as mw
+
+        mv = mw.pack_vectors_multiword(cnet, [vector])
+        good = mw.simulate_good(cnet, mv)
+        words = mw.batch_detect(
+            cnet, mv, good, [pending[n] for n in names], fault_chunk=1024
+        )
+        return {n for n, w in zip(names, words) if w}
+    from repro.logic.compiled import pack_vectors
+
+    packed = pack_vectors(cnet, [vector])
+    good = cnet.simulate(packed)
+    return {
+        n for n in names if cnet.detect_word(packed, good, pending[n])
+    }

@@ -7,8 +7,11 @@ The registry unifies the two circuit sources behind one lookup:
   time from :data:`~repro.circuits.generators.BENCHMARK_BUILDERS`, and
 * **external ISCAS-style netlists** parsed through
   :mod:`repro.logic.bench_format`, registered from a text blob
-  (:meth:`Registry.register_bench_text`) or a ``.bench`` file on disk
-  (:meth:`Registry.register_bench_file`).
+  (:meth:`Registry.register_bench_text`), a ``.bench`` file on disk
+  (:meth:`Registry.register_bench_file`), or a whole directory of them
+  (:meth:`Registry.register_bench_dir`).  The checked-in scaling
+  corpus under ``benchmarks/netlists/`` is ingested automatically into
+  the default registry with the ``corpus`` / ``iscas-class`` tags.
 
 Each entry carries a tag set (source, structural family, and a lazy
 size class derived from the gate count) so campaigns can select grids
@@ -38,6 +41,10 @@ from typing import Callable, Iterable, Mapping
 from repro.circuits.generators import BENCHMARK_BUILDERS
 from repro.logic.bench_format import parse_bench
 from repro.logic.network import Network
+
+#: Checked-in ISCAS-class scaling corpus, ingested into the default
+#: registry when present (repo checkout layout; absent in wheels).
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "netlists"
 
 #: Gate-count thresholds for the derived size tags, smallest first.
 SIZE_CLASSES: tuple[tuple[str, int], ...] = (
@@ -193,6 +200,26 @@ class Registry:
             replace=replace,
         )
 
+    def register_bench_dir(
+        self,
+        directory: str | Path,
+        tags: Iterable[str] = (),
+        replace: bool = False,
+    ) -> list[CircuitSpec]:
+        """Register every ``*.bench`` file in ``directory`` (sorted).
+
+        Returns the new specs; a missing directory registers nothing
+        (the corpus is optional — a source checkout without the
+        benchmark netlists still imports cleanly).
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            return []
+        return [
+            self.register_bench_file(path, tags=tags, replace=replace)
+            for path in sorted(directory.glob("*.bench"))
+        ]
+
     # -- lookup -----------------------------------------------------------
 
     def spec(self, name: str) -> CircuitSpec:
@@ -243,6 +270,9 @@ def _default_registry() -> Registry:
             if builder.__doc__
             else f"generated benchmark {name!r}",
         )
+    registry.register_bench_dir(
+        CORPUS_DIR, tags=("corpus", "iscas-class")
+    )
     return registry
 
 

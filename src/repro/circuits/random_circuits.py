@@ -1,0 +1,169 @@
+"""Seeded random combinational networks (fuzzing + scaling corpus).
+
+Two consumers share this module:
+
+* the **differential fuzz suite** (``tests/test_multiword_engine.py``)
+  draws batches of small random circuits and checks the multi-word,
+  single-word and legacy dict engines produce bit-identical detection
+  matrices on every one, and
+* the **ISCAS-class corpus generator** (``tools/gen_scaling_netlists.py``)
+  materialises the thousands-of-gate ``.bench`` netlists checked into
+  ``benchmarks/netlists/`` for the scaling benchmark tier.
+
+Determinism is load-bearing in both roles: a seed must produce the
+same netlist on every Python version and platform, because the corpus
+files are regenerated and diffed in tests and the campaign layer
+promises bit-identical stores across processes.  To that end the
+generator only consumes :meth:`random.Random.random` — the one method
+whose sequence the stdlib documents as reproducible across versions —
+through the local :func:`_randbelow` helper, never ``choice`` /
+``randrange`` / ``sample``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from repro.logic.network import GATE_ARITY, Network
+
+#: Static-polarity pool, weighted toward the NAND/NOR idiom of the
+#: ISCAS-85 netlists the corpus imitates.
+SP_POOL: tuple[str, ...] = (
+    "NAND2", "NAND2", "NAND2", "NAND2",
+    "NOR2", "NOR2", "NOR2",
+    "AND2", "AND2", "OR2", "OR2",
+    "NAND3", "NAND3", "NOR3",
+    "INV", "INV", "BUF",
+)
+
+#: Dynamic-polarity pool (the paper's Fig. 2 gates) — these carry the
+#: polarity-fault population, so every corpus circuit includes some.
+DP_POOL: tuple[str, ...] = (
+    "XOR2", "XOR2", "XOR2",
+    "XNOR2", "XNOR2",
+    "XOR3", "XOR3",
+    "MAJ3", "MAJ3",
+    "MIN3",
+)
+
+
+def _randbelow(rng: random.Random, n: int) -> int:
+    """Version-stable uniform draw from ``range(n)`` (see module doc)."""
+    return min(int(rng.random() * n), n - 1)
+
+
+def _sample_inputs(
+    rng: random.Random, nets: list[str], arity: int, window: int
+) -> list[str]:
+    """Pick ``arity`` input nets, biased toward recent nets for depth.
+
+    75% of picks come from the trailing ``window`` of the net list
+    (building long reconvergent paths); the rest are uniform over every
+    net so early PIs and gates keep fanning out.  Picks are distinct
+    when the pools allow it (repeated-input gates are legal but rare in
+    real netlists).
+    """
+    recent = nets[-window:] if len(nets) > window else nets
+    picks: list[str] = []
+    for _ in range(arity):
+        pool = recent if rng.random() < 0.75 else nets
+        candidate = pool[_randbelow(rng, len(pool))]
+        for _ in range(8):
+            if candidate not in picks:
+                break
+            candidate = pool[_randbelow(rng, len(pool))]
+        picks.append(candidate)
+    return picks
+
+
+def random_network(
+    seed: int,
+    n_gates: int = 60,
+    n_inputs: int = 8,
+    dp_fraction: float = 0.25,
+    name: str | None = None,
+    window: int = 24,
+) -> Network:
+    """A seeded random combinational DAG over the CP cell library.
+
+    Gates are appended in creation order (so the network is acyclic by
+    construction), drawing ``dp_fraction`` of types from the DP pool
+    and the rest from the SP pool; every net left unconsumed at the end
+    becomes a primary output, so (almost) the whole circuit is
+    observable and most faults are detectable.
+    """
+    if n_gates < 1 or n_inputs < 3:
+        raise ValueError("need n_gates >= 1 and n_inputs >= 3")
+    rng = random.Random(seed)
+    network = Network(name or f"rand_s{seed}_g{n_gates}")
+    nets: list[str] = []
+    for k in range(n_inputs):
+        net = f"i{k}"
+        network.add_input(net)
+        nets.append(net)
+    consumed: set[str] = set()
+    for g in range(n_gates):
+        pool = DP_POOL if rng.random() < dp_fraction else SP_POOL
+        gtype = pool[_randbelow(rng, len(pool))]
+        ins = _sample_inputs(rng, nets, GATE_ARITY[gtype], window)
+        out = f"n{g}"
+        network.add_gate(f"g{g}", gtype, ins, out)
+        consumed.update(ins)
+        nets.append(out)
+    for net in nets:
+        if net not in consumed:
+            network.add_output(net)
+    network.validate()
+    return network
+
+
+#: Corpus recipes: name -> generator parameters.  Gate counts shadow
+#: the ISCAS-85 circuits the names allude to (c432 / c880 / c1908);
+#: the netlists themselves are synthetic — seeded draws from
+#: :func:`random_network` with a c1908-like PI count and a DP-gate
+#: minority so polarity faults exist at scale.
+CORPUS_RECIPES: Mapping[str, dict] = {
+    "cpx432": dict(seed=432, n_gates=432, n_inputs=36,
+                   dp_fraction=0.15, window=30),
+    "cpx880": dict(seed=880, n_gates=880, n_inputs=60,
+                   dp_fraction=0.12, window=40),
+    "cpx1908": dict(seed=1908, n_gates=1908, n_inputs=33,
+                    dp_fraction=0.10, window=48),
+}
+
+
+def build_corpus_network(name: str) -> Network:
+    """Regenerate one corpus circuit from its recipe (deterministic)."""
+    if name not in CORPUS_RECIPES:
+        raise KeyError(
+            f"unknown corpus circuit {name!r}; "
+            f"available: {sorted(CORPUS_RECIPES)}"
+        )
+    return random_network(name=name, **CORPUS_RECIPES[name])
+
+
+def random_vectors(
+    network: Network,
+    n: int,
+    seed: int,
+    x_fraction: float = 0.0,
+) -> list[dict[str, int]]:
+    """``n`` seeded random test vectors for ``network``.
+
+    ``x_fraction`` leaves that share of primary-input entries unset
+    (= X under the simulators' missing-input convention), exercising
+    the ternary paths.  Uses only :meth:`random.Random.random`, so the
+    sequence is stable across Python versions — campaign tasks rely on
+    this for bit-identical stores across processes.
+    """
+    rng = random.Random(seed)
+    vectors: list[dict[str, int]] = []
+    for _ in range(n):
+        vector: dict[str, int] = {}
+        for net in network.primary_inputs:
+            if x_fraction and rng.random() < x_fraction:
+                continue
+            vector[net] = 1 if rng.random() < 0.5 else 0
+        vectors.append(vector)
+    return vectors

@@ -26,7 +26,11 @@ Usage — simulate a generated benchmark both ways::
     print(cnet.outputs_unpacked(state, 0))      # same values
 """
 
-from repro.logic.bench_format import parse_bench, write_bench
+from repro.logic.bench_format import (
+    UnsupportedBenchFeature,
+    parse_bench,
+    write_bench,
+)
 from repro.logic.compiled import (
     CompiledNetwork,
     FaultInjection,
@@ -112,6 +116,7 @@ __all__ = [
     "fault_free_is_consistent",
     "from_ternary",
     "output_vector",
+    "UnsupportedBenchFeature",
     "parse_bench",
     "simulate",
     "simulate_outputs",

@@ -11,6 +11,13 @@ Example::
 
 Gate names are auto-derived from output nets (``g_<net>``) on parsing;
 writing emits one line per gate in topological order.
+
+Only the combinational subset of the dialect is modelled: sequential
+primitives (``DFF`` and friends — common in the larger ISCAS-89
+netlists) and gate types outside the CP cell library raise
+:class:`UnsupportedBenchFeature` with the offending line number, so a
+corpus ingest failure points at the exact netlist line instead of
+surfacing as a bare ``KeyError``/``ValueError`` from deeper layers.
 """
 
 from __future__ import annotations
@@ -42,7 +49,23 @@ _TYPE_ALIASES = {
 }
 
 
-def _canonical_type(raw: str, n_args: int) -> str:
+class UnsupportedBenchFeature(ValueError):
+    """A .bench line uses a feature outside the combinational subset.
+
+    Raised with the offending line number for sequential primitives
+    (``DFF`` etc.) and unknown gate types.
+    """
+
+
+#: Sequential / state-holding primitive names seen in the wild
+#: (ISCAS-89 and derivatives).  Recognised so the error says
+#: "sequential" instead of "unknown".
+_SEQUENTIAL_TYPES = frozenset({
+    "DFF", "SDFF", "DFFSR", "DFFRS", "DLATCH", "LATCH", "FF", "SFF",
+})
+
+
+def _canonical_type(raw: str, n_args: int, lineno: int = 0) -> str:
     gtype = raw.upper()
     if gtype in GATE_ARITY:
         return gtype
@@ -53,7 +76,15 @@ def _canonical_type(raw: str, n_args: int) -> str:
         return candidate
     if gtype in _TYPE_ALIASES:
         return _TYPE_ALIASES[gtype]
-    raise ValueError(f"unknown gate type {raw!r}")
+    if gtype in _SEQUENTIAL_TYPES:
+        raise UnsupportedBenchFeature(
+            f"line {lineno}: sequential element {raw!r} is not "
+            f"supported (only combinational netlists are modelled)"
+        )
+    raise UnsupportedBenchFeature(
+        f"line {lineno}: unknown gate type {raw!r}; "
+        f"supported types: {sorted(GATE_ARITY)}"
+    )
 
 
 def parse_bench(text: str, name: str = "") -> Network:
@@ -79,7 +110,9 @@ def parse_bench(text: str, name: str = "") -> Network:
                 for a in gate_match.group("args").split(",")
                 if a.strip()
             ]
-            gtype = _canonical_type(gate_match.group("type"), len(args))
+            gtype = _canonical_type(
+                gate_match.group("type"), len(args), lineno
+            )
             pending_gates.append((out, gtype, args))
             continue
         raise ValueError(f"line {lineno}: cannot parse {raw_line!r}")

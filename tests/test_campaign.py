@@ -195,6 +195,73 @@ class TestRunnerDeterminism:
         assert all("runtime_s" not in r for r in stripped)
 
 
+class TestMultiwordResume:
+    """Kill/restart determinism for multi-word campaign cells.
+
+    The ``fault_sim`` task routes through the 2-D numpy engine on the
+    ISCAS-class corpus; resume after a torn-tail kill and any worker
+    count must still reproduce a bit-identical JSONL store, exactly as
+    the single-word cells promise.
+    """
+
+    GRID = (("c17", "cpx432"), ("fault_sim",))
+
+    @pytest.fixture(scope="class")
+    def mw_reference(self):
+        grid = expand_grid(*self.GRID, engine="auto")
+        result = run_campaign(grid)
+        assert all(r["status"] == "ok" for r in result.records)
+        # cpx432 is big enough that the auto selector picks the
+        # multi-word engine for the whole fault population.
+        by_circuit = {r["circuit"]: r["metrics"] for r in result.records}
+        assert by_circuit["cpx432"]["n_stuck_at_faults"] > 2000
+        return result.records
+
+    def test_kill_and_resume_bit_identical(self, tmp_path, mw_reference):
+        grid = expand_grid(*self.GRID, engine="auto")
+        store_path = tmp_path / "mw.jsonl"
+        lines = [json.dumps(r, sort_keys=True) for r in mw_reference]
+        # Kill signature: first record intact, second torn mid-write.
+        store_path.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        result = run_campaign(grid, store=store_path)
+        assert result.n_skipped == 1
+        assert result.n_run == 1
+        final = list(ResultStore(store_path).latest().values())
+        assert stores_equal(final, mw_reference)
+
+    def test_worker_count_invariant(self, tmp_path, mw_reference):
+        grid = expand_grid(*self.GRID, engine="auto")
+        parallel = run_campaign(
+            grid, store=tmp_path / "mw2.jsonl", workers=2
+        )
+        assert stores_equal(parallel.records, mw_reference)
+        stored = ResultStore(tmp_path / "mw2.jsonl").load()
+        assert stores_equal(stored, mw_reference)
+
+    def test_fault_sim_metrics_shape(self):
+        metrics = run_fault_class(
+            get_registry().load("cpx432"), "fault_sim", engine="auto"
+        )
+        assert metrics["n_vectors"] == 256
+        assert 0.0 < metrics["stuck_at_coverage"] <= 1.0
+        assert 0.0 < metrics["polarity_iddq_coverage"] <= 1.0
+
+    def test_fault_sim_not_in_default_grid(self):
+        from repro.campaign.tasks import DEFAULT_FAULT_CLASSES
+
+        assert "fault_sim" in TASK_RUNNERS
+        assert "fault_sim" not in DEFAULT_FAULT_CLASSES
+        assert DEFAULT_FAULT_CLASSES == (
+            "stuck_at", "polarity", "iddq", "stuck_open",
+        )
+
+    def test_corpus_cells_are_self_contained(self):
+        # Corpus entries carry their bench text, so spawn-started
+        # workers rebuild them without filesystem access.
+        grid = expand_grid(["cpx432"], ["fault_sim"])
+        assert grid[0].bench_text is not None
+
+
 class TestRunnerFailureModes:
     def test_task_error_becomes_record_not_crash(self):
         def boom(_network, _engine):

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Materialise the ISCAS-class scaling corpus into benchmarks/netlists/.
+
+The corpus circuits (cpx432 / cpx880 / cpx1908) are synthetic seeded
+networks at ISCAS-85 gate-count scale, defined once by
+:data:`repro.circuits.random_circuits.CORPUS_RECIPES`.  This tool
+regenerates the ``.bench`` files from those recipes; the files are
+checked in, and ``tests/test_multiword_engine.py`` asserts that
+regeneration reproduces the checked-in text bit-for-bit (provenance:
+the netlists on disk are exactly what the recipes say they are).
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_scaling_netlists.py [--check]
+
+``--check`` writes nothing and exits 1 if any checked-in file differs
+from its recipe (the CI guard mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.circuits.random_circuits import (  # noqa: E402
+    CORPUS_RECIPES,
+    build_corpus_network,
+)
+from repro.logic.bench_format import write_bench  # noqa: E402
+
+NETLIST_DIR = REPO / "benchmarks" / "netlists"
+
+
+def corpus_texts() -> dict[str, str]:
+    """name -> .bench text for every corpus recipe (deterministic)."""
+    return {
+        name: write_bench(build_corpus_network(name))
+        for name in CORPUS_RECIPES
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify checked-in files match the recipes; write nothing",
+    )
+    args = parser.parse_args(argv)
+    stale = []
+    NETLIST_DIR.mkdir(parents=True, exist_ok=True)
+    for name, text in corpus_texts().items():
+        path = NETLIST_DIR / f"{name}.bench"
+        on_disk = path.read_text() if path.exists() else None
+        if on_disk == text:
+            print(f"  ok       {path.relative_to(REPO)}")
+            continue
+        if args.check:
+            stale.append(path)
+            print(f"  STALE    {path.relative_to(REPO)}")
+            continue
+        path.write_text(text)
+        verb = "rewrote" if on_disk is not None else "wrote"
+        print(f"  {verb:<8} {path.relative_to(REPO)} ({len(text)} bytes)")
+    if stale:
+        print(
+            f"{len(stale)} corpus netlist(s) out of date; rerun without "
+            f"--check to regenerate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
