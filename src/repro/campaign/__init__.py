@@ -2,9 +2,12 @@
 
 The layer above the per-circuit engines: a benchmark registry
 (:mod:`~repro.campaign.registry`), deterministic fault-class tasks
-(:mod:`~repro.campaign.tasks`), a multiprocessing grid runner with
+(:mod:`~repro.campaign.tasks`), a fault-tolerant grid runner with
 JSONL checkpointing (:mod:`~repro.campaign.runner` /
-:mod:`~repro.campaign.store`), report rendering from stored records
+:mod:`~repro.campaign.store`) over a supervised worker-process layer
+with watchdog kills, crash respawn, retry/backoff and poison-task
+quarantine (:mod:`~repro.campaign.supervisor`, chaos-tested via
+:mod:`~repro.campaign.chaos`), report rendering from stored records
 (:mod:`~repro.campaign.tables`), and the ``python -m repro`` CLI
 (:mod:`~repro.campaign.cli`).
 
@@ -19,13 +22,22 @@ Programmatic quickstart::
 
 from repro.campaign.registry import CircuitSpec, Registry, get_registry
 from repro.campaign.runner import (
+    FALLBACK_CHAINS,
     CampaignResult,
+    RetryPolicy,
     TaskSpec,
+    TransientTaskError,
     execute_task,
     expand_grid,
     run_campaign,
+    run_task_with_retries,
 )
-from repro.campaign.store import ResultStore, stores_equal, strip_volatile
+from repro.campaign.store import (
+    ResultStore,
+    StoreLockedError,
+    stores_equal,
+    strip_volatile,
+)
 from repro.campaign.tables import (
     coverage_table,
     escape_table,
@@ -42,10 +54,14 @@ __all__ = [
     "CampaignResult",
     "CircuitSpec",
     "DEFAULT_FAULT_CLASSES",
+    "FALLBACK_CHAINS",
     "Registry",
     "ResultStore",
+    "RetryPolicy",
+    "StoreLockedError",
     "TASK_RUNNERS",
     "TaskSpec",
+    "TransientTaskError",
     "coverage_table",
     "escape_table",
     "execute_task",
@@ -55,6 +71,7 @@ __all__ = [
     "run_campaign",
     "run_fault_class",
     "run_table",
+    "run_task_with_retries",
     "stores_equal",
     "strip_volatile",
 ]

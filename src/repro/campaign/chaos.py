@@ -1,0 +1,181 @@
+"""Deterministic fault injection for the campaign orchestrator.
+
+The differential-harness discipline the simulation engines get from
+``tests/test_multiword_engine.py`` — every engine must agree bit-for-
+bit with an oracle — applied to the *orchestrator*: a campaign is
+subjected to scripted worker kills, native-style hangs, transient and
+permanent exceptions and mid-write store truncation, and must converge
+to the same final store as an undisturbed single-worker run
+(``tests/test_campaign_chaos.py``).
+
+Injection is scripted, not random: a :class:`ChaosPolicy` maps a task
+id to the fault each attempt should suffer, so every chaos scenario is
+reproducible and assertable::
+
+    ChaosPolicy({
+        "c17/stuck_at/compiled": ("kill", "ok"),       # die once, then pass
+        "c17/polarity/compiled": ("transient",),       # fail once, retried
+        "tmr_voter/stuck_at/compiled": ("hang",),      # wedge; watchdog kills
+    })
+
+Fault kinds (attempts past the end of a script run clean):
+
+``ok``
+    No injection.
+``kill``
+    The worker SIGKILLs itself before running the cell — the
+    segfault/OOM-killer signature.  Supervised (``workers>1``) runs
+    only: inline it would kill the campaign process itself.
+``hang``
+    The worker blocks ``SIGALRM`` and sleeps forever, mimicking a cell
+    wedged inside native code where the soft timeout cannot fire; only
+    the supervisor's external watchdog can reclaim it.  Supervised
+    runs only.
+``transient``
+    Raises :class:`ChaosTransientError` (a
+    :class:`~repro.campaign.runner.TransientTaskError`): retried with
+    backoff.
+``permanent``
+    Raises :class:`ChaosPermanentError`: fails fast, no retry.
+``engine``
+    The first engine of the cell's fallback chain raises
+    :class:`ChaosEngineError`, forcing degradation to the next engine
+    (``engine_used`` then records the fallback).
+
+:func:`tear_tail` is the store-side injection: it truncates the final
+record mid-line, the exact signature of a campaign killed mid-write,
+so resume-after-torn-write is testable without actually killing a
+process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.campaign.runner import TransientTaskError
+
+#: Legal per-attempt fault kinds in a :class:`ChaosPolicy` script.
+FAULT_KINDS = frozenset(
+    {"ok", "kill", "hang", "transient", "permanent", "engine"}
+)
+
+
+class ChaosError(RuntimeError):
+    """Base class for injected failures (so tests can catch them)."""
+
+
+class ChaosTransientError(ChaosError, TransientTaskError):
+    """Injected transient failure — classified retryable."""
+
+
+class ChaosPermanentError(ChaosError):
+    """Injected permanent failure — fails fast, no retry."""
+
+
+class ChaosEngineError(ChaosError):
+    """Injected engine failure — triggers the fallback chain."""
+
+
+def hang_forever(poll_s: float = 0.05) -> None:  # pragma: no cover
+    """Simulate a cell wedged in native code: disarm the soft-timeout
+    signal (native code never re-enters the interpreter, so the Python
+    ``SIGALRM`` handler can never fire there) and never return.  Only
+    an external kill reclaims this."""
+    if hasattr(signal, "SIGALRM"):
+        signal.signal(signal.SIGALRM, signal.SIG_IGN)
+    while True:
+        time.sleep(poll_s)
+
+
+def _kill_self() -> None:  # pragma: no cover - dies by design
+    """Die the way a segfault/OOM kill looks from outside: no cleanup,
+    no exit handlers, no exception."""
+    if hasattr(signal, "SIGKILL"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    os._exit(113)  # platforms without SIGKILL: still an abrupt death
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosPolicy:
+    """Scripted fault injection, keyed by ``(task_id, attempt)``.
+
+    ``script`` maps a task id to the fault kind per 1-based attempt;
+    unlisted tasks and attempts past a script's end run clean.  The
+    policy is immutable and picklable, so forked/spawned workers carry
+    the identical script — injection is fully deterministic.
+    """
+
+    script: Mapping[str, Sequence[str]]
+
+    def __post_init__(self) -> None:
+        for task_id, faults in self.script.items():
+            unknown = set(faults) - FAULT_KINDS
+            if unknown:
+                raise ValueError(
+                    f"unknown chaos fault kind(s) {sorted(unknown)} for "
+                    f"{task_id!r}; expected {sorted(FAULT_KINDS)}"
+                )
+
+    def fault(self, task_id: str, attempt: int) -> str:
+        """The scripted fault for this attempt (``"ok"`` if none)."""
+        faults = self.script.get(task_id, ())
+        if 1 <= attempt <= len(faults):
+            return faults[attempt - 1]
+        return "ok"
+
+    def before_attempt(self, task_id: str, attempt: int) -> None:
+        """Worker-side hook, called before the cell executes."""
+        kind = self.fault(task_id, attempt)
+        if kind == "kill":
+            _kill_self()
+        elif kind == "hang":
+            hang_forever()
+        elif kind == "transient":
+            raise ChaosTransientError(
+                f"injected transient failure ({task_id}, attempt {attempt})"
+            )
+        elif kind == "permanent":
+            raise ChaosPermanentError(
+                f"injected permanent failure ({task_id}, attempt {attempt})"
+            )
+
+    def engine_fault(
+        self,
+        task_id: str,
+        attempt: int,
+        engine: str,
+        chain: Sequence[str],
+    ) -> None:
+        """Worker-side hook, called before each engine of the fallback
+        chain runs: an ``"engine"`` fault breaks the chain's *first*
+        engine, so the cell must degrade to finish."""
+        if (
+            self.fault(task_id, attempt) == "engine"
+            and len(chain) > 1
+            and engine == chain[0]
+        ):
+            raise ChaosEngineError(
+                f"injected failure in engine {engine!r} "
+                f"({task_id}, attempt {attempt})"
+            )
+
+
+def tear_tail(path: str | Path, fraction: float = 0.5) -> Path:
+    """Truncate the final store record mid-line — the byte-exact
+    signature of a campaign killed during a write.  The store's
+    torn-tail healing must recover the file and resume must recompute
+    exactly the torn record's task."""
+    path = Path(path)
+    data = path.read_bytes()
+    lines = data.splitlines(keepends=True)
+    if not lines:
+        raise ValueError(f"{path}: empty store, nothing to tear")
+    last = lines[-1]
+    cut = max(1, min(len(last) - 2, int(len(last) * fraction)))
+    path.write_bytes(data[: len(data) - len(last)] + last[:cut])
+    return path

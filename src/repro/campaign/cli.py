@@ -29,7 +29,7 @@ import argparse
 import sys
 
 from repro.campaign.registry import get_registry
-from repro.campaign.runner import expand_grid, run_campaign
+from repro.campaign.runner import RetryPolicy, expand_grid, run_campaign
 from repro.campaign.store import ResultStore
 from repro.campaign.tables import (
     SECTION5_READING,
@@ -86,7 +86,25 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
-        help="per-task wall-clock bound (overruns become 'timeout' records)",
+        help="per-task soft wall-clock bound (overruns become 'timeout' "
+             "records); with workers > 1 a hard watchdog kills workers "
+             "stuck past it (see --watchdog-grace)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="retry budget for transient task failures "
+             f"(default {RetryPolicy.max_attempts}, exponential backoff)",
+    )
+    parser.add_argument(
+        "--watchdog-grace", type=float, default=None, metavar="SECONDS",
+        help="extra time past --timeout before the supervisor kills a "
+             f"stuck worker from outside (default "
+             f"{RetryPolicy.watchdog_grace:g}s)",
+    )
+    parser.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the store after every record (survives machine "
+             "crashes, not just process kills)",
     )
     parser.add_argument(
         "--no-resume", action="store_true",
@@ -106,22 +124,37 @@ def _register_bench_files(paths) -> list[str]:
     return names
 
 
+def _retry_policy(args) -> RetryPolicy:
+    """The grid flags' retry/watchdog overrides on top of the defaults."""
+    overrides = {}
+    if args.max_attempts is not None:
+        overrides["max_attempts"] = args.max_attempts
+    if args.watchdog_grace is not None:
+        overrides["watchdog_grace"] = args.watchdog_grace
+    return RetryPolicy(**overrides)
+
+
 def _run_grid(args, circuits, fault_classes, store_path) -> int:
     grid = expand_grid(
         circuits, fault_classes, engine=args.engine
     )
-    result = run_campaign(
-        grid,
-        store=store_path,
-        workers=args.workers or 1,
-        timeout=args.timeout,
-        resume=not args.no_resume,
-        progress=lambda line: print(line, file=sys.stderr),
-    )
+    with ResultStore(store_path, fsync=args.fsync) as store:
+        result = run_campaign(
+            grid,
+            store=store,
+            workers=args.workers or 1,
+            timeout=args.timeout,
+            resume=not args.no_resume,
+            progress=lambda line: print(line, file=sys.stderr),
+            policy=_retry_policy(args),
+        )
     print(render_report(result.records))
     if result.store_path is not None:
         print(f"\nstore: {result.store_path} "
-              f"({result.n_run} run, {result.n_skipped} resumed)")
+              f"({result.n_run} run, {result.n_skipped} resumed, "
+              f"{result.n_failed} failed)")
+    # Exit nonzero whenever any cell did not finish ok (error, timeout
+    # or poisoned) so CI grids actually gate on campaign health.
     return 1 if result.n_failed else 0
 
 
@@ -207,14 +240,16 @@ def cmd_paper_tables(args) -> int:
         args.fault_classes or DEFAULT_FAULT_CLASSES,
         engine=args.engine,
     )
-    result = run_campaign(
-        grid,
-        store=args.store,
-        workers=args.workers or 1,
-        timeout=args.timeout,
-        resume=not args.no_resume,
-        progress=lambda line: print(line, file=sys.stderr),
-    )
+    with ResultStore(args.store, fsync=args.fsync) as store:
+        result = run_campaign(
+            grid,
+            store=store,
+            workers=args.workers or 1,
+            timeout=args.timeout,
+            resume=not args.no_resume,
+            progress=lambda line: print(line, file=sys.stderr),
+            policy=_retry_policy(args),
+        )
     print("Section 5 coverage study: "
           "classic stuck-at tests vs CP fault models")
     print(coverage_table(result.records))
@@ -226,7 +261,8 @@ def cmd_paper_tables(args) -> int:
     print(SECTION5_READING)
     if result.store_path is not None:
         print(f"\nstore: {result.store_path} "
-              f"({result.n_run} run, {result.n_skipped} resumed)")
+              f"({result.n_run} run, {result.n_skipped} resumed, "
+              f"{result.n_failed} failed)")
     return 1 if result.n_failed else 0
 
 

@@ -1,4 +1,4 @@
-"""Campaign runner: a (circuit x fault-class x engine) grid over a pool.
+"""Campaign runner: a (circuit x fault-class x engine) grid over workers.
 
 The runner turns the per-circuit engines of :mod:`repro.atpg` into
 orchestrated campaigns:
@@ -6,17 +6,24 @@ orchestrated campaigns:
 * **Grid expansion** — :func:`expand_grid` crosses registry circuit
   names with fault classes into :class:`TaskSpec` cells; every cell is
   independent and deterministic.
-* **Fan-out** — :func:`run_campaign` runs cells on a ``multiprocessing``
-  pool (``workers=1`` runs inline, which is also the debugging path).
-  Workers reconstruct each circuit themselves; the process-wide
+* **Fan-out** — :func:`run_campaign` runs cells on the supervised
+  worker layer of :mod:`repro.campaign.supervisor` (``workers=1`` runs
+  inline, which is also the debugging path).  Workers reconstruct each
+  circuit themselves; the process-wide
   :func:`repro.logic.compiled.compile_network` memo then makes every
   later task on a structurally identical circuit reuse the compiled
   network and its search structures, so a worker that sees the same
   circuit for four fault classes compiles it once.
-* **Per-task timeouts** — a ``SIGALRM`` interval timer inside the
-  worker bounds each cell; a cell that overruns yields a ``timeout``
-  record instead of wedging the campaign (platforms without
-  ``SIGALRM`` run unbounded).
+* **Fault tolerance** — each cell runs under a two-level timeout (a
+  ``SIGALRM`` soft bound inside the worker plus the supervisor's hard
+  watchdog that kills workers wedged in native code or on platforms
+  without ``SIGALRM``), a transient-vs-permanent error classification
+  with exponential-backoff **retries**, an **engine fallback chain**
+  (:data:`FALLBACK_CHAINS`, e.g. ``auto → compiled → legacy``) for
+  cells one engine cannot finish, and **poison-task quarantine** for
+  cells that repeatedly kill their worker.  Failure modes become
+  record statuses (``error`` / ``timeout`` / ``poisoned``) — never a
+  crashed campaign.
 * **Checkpointing** — each finished record is appended to the JSONL
   :class:`~repro.campaign.store.ResultStore` immediately; with
   ``resume=True`` (default) a rerun skips every task whose latest
@@ -24,9 +31,12 @@ orchestrated campaigns:
   instead of restarting.
 
 Because tasks are deterministic and records carry no worker identity,
-the *final store content* is identical (up to ``runtime_s`` and line
-order) for 1-worker and N-worker runs, and for interrupted-then-resumed
-runs — ``tests/test_campaign.py`` enforces both.
+the *final store content* is identical (up to the volatile
+``runtime_s`` / ``attempt`` / ``failures`` fields and line order) for
+1-worker and N-worker runs, for interrupted-then-resumed runs, and for
+runs disturbed by injected worker kills/hangs/transient errors —
+``tests/test_campaign.py`` and ``tests/test_campaign_chaos.py``
+enforce all three.
 
 Example::
 
@@ -40,11 +50,10 @@ Example::
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import signal
 import time
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from repro.campaign.registry import Registry, get_registry
 from repro.circuits.generators import BENCHMARK_BUILDERS
@@ -52,6 +61,73 @@ from repro.campaign.store import SCHEMA_VERSION, ResultStore
 from repro.campaign.tasks import DEFAULT_FAULT_CLASSES, run_fault_class
 from repro.logic.bench_format import parse_bench
 from repro.logic.network import Network
+
+#: Whether the in-worker soft timeout is available.  Module-level so
+#: tests can simulate SIGALRM-less platforms (the supervisor's watchdog
+#: is then the only timeout enforcement).
+_HAS_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+class TransientTaskError(RuntimeError):
+    """Base class for errors worth retrying (resource pressure, flaky
+    I/O, injected chaos) as opposed to deterministic task bugs."""
+
+
+#: Exception types classified as transient: the same cell may well
+#: succeed on a retried attempt.  Everything else is permanent — a
+#: deterministic cell would fail identically again.
+TRANSIENT_EXCEPTION_TYPES: tuple[type[BaseException], ...] = (
+    MemoryError,
+    OSError,          # includes ConnectionError/TimeoutError/BrokenPipeError
+    TransientTaskError,
+)
+
+
+def classify_transient(exc: BaseException) -> bool:
+    """Transient (retry with backoff) vs permanent (fail fast)."""
+    return isinstance(exc, TRANSIENT_EXCEPTION_TYPES)
+
+
+#: Engine degradation chains: when an engine raises a *permanent* error
+#: on a cell, the cell is retried in-attempt on the next engine in its
+#: chain (fast numpy/compiled paths degrade to the slow-but-simple
+#: legacy oracle).  The record's ``engine_used`` names the engine that
+#: actually produced the metrics; ``engine`` (and the task id) keep the
+#: requested one so resume keys are stable.
+FALLBACK_CHAINS: dict[str, tuple[str, ...]] = {
+    "auto": ("auto", "compiled", "legacy"),
+    "multiword": ("multiword", "compiled", "legacy"),
+    "compiled": ("compiled", "legacy"),
+    "legacy": ("legacy",),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/watchdog knobs for one campaign.
+
+    ``max_attempts`` bounds transient-error retries; ``max_crash_attempts``
+    bounds how often a cell may kill (or hang) its worker before it is
+    quarantined as ``poisoned`` (crashes) or finalised as ``timeout``
+    (watchdog kills).  Backoff is deterministic exponential:
+    ``base * factor**(attempt-1)`` capped at ``backoff_max``.
+    ``watchdog_grace`` is how long past the soft ``timeout`` the
+    supervisor waits before killing a worker from outside.
+    """
+
+    max_attempts: int = 3
+    max_crash_attempts: int = 3
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    watchdog_grace: float = 5.0
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retrying after the ``attempt``-th failure."""
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -89,6 +165,8 @@ class CampaignResult:
 
     @property
     def n_failed(self) -> int:
+        """Tasks whose final record is not ``ok`` (``error`` /
+        ``timeout`` / ``poisoned``) — the CLI exit-code source."""
         return sum(1 for r in self.records if r.get("status") != "ok")
 
 
@@ -138,46 +216,122 @@ def _alarm(_signum, _frame):
     raise _TaskTimeout()
 
 
-def execute_task(spec: TaskSpec, timeout: float | None = None) -> dict:
+def _format_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def execute_task(
+    spec: TaskSpec,
+    timeout: float | None = None,
+    *,
+    attempt: int = 1,
+    chaos=None,
+) -> dict:
     """Run one grid cell to a finished record (never raises for task
-    failures — errors and timeouts become record statuses)."""
+    failures — errors and timeouts become record statuses).
+
+    One *attempt*: the engine fallback chain runs inside it (permanent
+    engine errors degrade to the next engine, recorded in the
+    ``failures`` provenance), while transient errors abort the attempt
+    immediately so the caller can retry the cell with backoff.  The
+    soft ``SIGALRM`` timeout spans the whole attempt, fallbacks
+    included.  ``chaos`` is the fault-injection hook of
+    :class:`repro.campaign.chaos.ChaosPolicy` (tests only).
+    """
     record = {
         "schema": SCHEMA_VERSION,
         "task_id": spec.task_id,
         "circuit": spec.circuit,
         "fault_class": spec.fault_class,
         "engine": spec.engine,
+        "attempt": attempt,
     }
-    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
+    chain = FALLBACK_CHAINS.get(spec.engine, (spec.engine,))
+    failures: list[dict] = []
+    use_alarm = timeout is not None and _HAS_SIGALRM
     previous = None
     start = time.perf_counter()
     try:
         if use_alarm:
             previous = signal.signal(signal.SIGALRM, _alarm)
             signal.setitimer(signal.ITIMER_REAL, timeout)
+        if chaos is not None:
+            chaos.before_attempt(spec.task_id, attempt)
         network = spec.build_network()
         record["circuit_stats"] = network.stats()
-        record["metrics"] = run_fault_class(
-            network, spec.fault_class, spec.engine
-        )
-        record["status"] = "ok"
+        for index, engine in enumerate(chain):
+            try:
+                if chaos is not None:
+                    chaos.engine_fault(spec.task_id, attempt, engine, chain)
+                record["metrics"] = run_fault_class(
+                    network, spec.fault_class, engine
+                )
+                record["engine_used"] = engine
+                record["status"] = "ok"
+                break
+            except _TaskTimeout:
+                raise
+            except Exception as exc:  # noqa: BLE001 — degrade, don't die
+                if classify_transient(exc) or index == len(chain) - 1:
+                    raise
+                failures.append(
+                    {
+                        "attempt": attempt,
+                        "kind": "engine",
+                        "engine": engine,
+                        "error": _format_error(exc),
+                    }
+                )
     except _TaskTimeout:
         record["status"] = "timeout"
         record["error"] = f"task exceeded {timeout:g}s"
     except Exception as exc:  # noqa: BLE001 — campaign must outlive cells
         record["status"] = "error"
-        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["error"] = _format_error(exc)
+        record["transient"] = classify_transient(exc)
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
+    if failures:
+        record["failures"] = failures
     record["runtime_s"] = round(time.perf_counter() - start, 6)
     return record
 
 
-def _pool_entry(args: tuple[TaskSpec, float | None]) -> dict:
-    spec, timeout = args
-    return execute_task(spec, timeout)
+def run_task_with_retries(
+    spec: TaskSpec,
+    timeout: float | None = None,
+    policy: RetryPolicy | None = None,
+    chaos=None,
+) -> dict:
+    """Inline attempt loop: :func:`execute_task` plus transient-error
+    retries with exponential backoff (the ``workers=1`` twin of the
+    supervisor's parent-side retry logic; worker-death recovery needs
+    the supervised path)."""
+    policy = policy or RetryPolicy()
+    failures: list[dict] = []
+    attempt = 1
+    while True:
+        record = execute_task(spec, timeout, attempt=attempt, chaos=chaos)
+        if (
+            record["status"] == "error"
+            and record.get("transient")
+            and attempt < policy.max_attempts
+        ):
+            failures.append(
+                {
+                    "attempt": attempt,
+                    "kind": "transient",
+                    "error": record.get("error", ""),
+                }
+            )
+            time.sleep(policy.backoff(attempt))
+            attempt += 1
+            continue
+        if failures:
+            record["failures"] = failures + record.get("failures", [])
+        return record
 
 
 def run_campaign(
@@ -187,19 +341,35 @@ def run_campaign(
     timeout: float | None = None,
     resume: bool = True,
     progress: Callable[[str], None] | None = None,
+    policy: RetryPolicy | None = None,
+    chaos=None,
 ) -> CampaignResult:
-    """Run a task grid with checkpointing and resume.
+    """Run a task grid with checkpointing, resume and fault tolerance.
 
     Args:
         tasks: Grid cells from :func:`expand_grid` (or hand-built).
         store: JSONL checkpoint target; ``None`` runs purely in memory.
-        workers: Pool size; ``1`` executes inline in this process.
-        timeout: Per-task wall-clock bound in seconds.
+            A path gets a store the campaign opens and closes itself; a
+            :class:`ResultStore` instance stays caller-owned (so its
+            ``fsync``/``lock`` configuration and handle lifetime are
+            the caller's).
+        workers: Pool size; ``1`` executes inline in this process,
+            ``>1`` fans out over the supervised worker layer
+            (:mod:`repro.campaign.supervisor`) with watchdog kills,
+            crash respawn and poison quarantine.
+        timeout: Per-task soft wall-clock bound in seconds; the
+            supervised path adds a hard watchdog at
+            ``timeout + policy.watchdog_grace``.
         resume: Skip tasks whose latest stored record is ``ok``.
         progress: Optional sink for one-line progress messages.
+        policy: Retry/backoff/watchdog knobs (:class:`RetryPolicy`).
+        chaos: Fault-injection hook for the chaos test harness
+            (:class:`repro.campaign.chaos.ChaosPolicy`).
     """
-    if store is not None and not isinstance(store, ResultStore):
+    owns_store = store is not None and not isinstance(store, ResultStore)
+    if owns_store:
         store = ResultStore(store)
+    policy = policy or RetryPolicy()
     say = progress or (lambda _line: None)
 
     done: dict[str, dict] = {}
@@ -226,16 +396,27 @@ def run_campaign(
         say(f"[{len(fresh)}/{len(pending)}] {record['task_id']}: "
             f"{status} in {record['runtime_s']:.2f}s{extra}")
 
-    if pending:
-        if workers <= 1:
-            for spec in pending:
-                finish(execute_task(spec, timeout))
-        else:
-            context = multiprocessing.get_context()
-            with context.Pool(processes=workers) as pool:
-                payload = [(spec, timeout) for spec in pending]
-                for record in pool.imap_unordered(_pool_entry, payload):
-                    finish(record)
+    try:
+        if pending:
+            if workers <= 1:
+                for spec in pending:
+                    finish(
+                        run_task_with_retries(spec, timeout, policy, chaos)
+                    )
+            else:
+                from repro.campaign.supervisor import run_supervised
+
+                run_supervised(
+                    pending,
+                    workers=workers,
+                    timeout=timeout,
+                    policy=policy,
+                    chaos=chaos,
+                    emit=finish,
+                )
+    finally:
+        if owns_store and store is not None:
+            store.close()
 
     records = [
         fresh.get(t.task_id) or done[t.task_id] for t in tasks

@@ -6,39 +6,88 @@ tolerates a torn final line (the kill signature) by dropping it; a
 rerun then recomputes exactly the missing tasks and appends them —
 resume semantics fall out of the file format.
 
-Record schema (``schema: 1``) — see ``docs/CAMPAIGNS.md`` for the
+Durability and coordination knobs (all opt-in or zero-config):
+
+* The store holds **one persistent append handle** for its lifetime
+  (flushed per record) instead of reopening the file per append;
+  :meth:`ResultStore.close` (or garbage collection) releases it.
+* ``fsync=True`` adds an ``os.fsync`` after every record, so a machine
+  crash — not just a process kill — loses at most the in-flight line.
+* **Advisory file locking** (``flock``, where the platform has it)
+  makes the append handle exclusive: two campaigns pointed at one
+  store file fail fast with :class:`StoreLockedError` instead of
+  interleaving torn writes.  Readers never take the lock.
+
+Record schema (``schema: 2``) — see ``docs/CAMPAIGNS.md`` for the
 field-by-field reference::
 
     {
-      "schema": 1,
+      "schema": 2,
       "task_id": "rca4/polarity/compiled",
       "circuit": "rca4", "fault_class": "polarity", "engine": "compiled",
-      "status": "ok",                  # or "error" / "timeout"
+      "engine_used": "compiled",       # engine that produced metrics
+      "attempt": 1,                    # attempt that produced the record
+      "status": "ok",                  # or "error"/"timeout"/"poisoned"
       "runtime_s": 0.31,
       "circuit_stats": {"gates": 8, "inputs": 9, "outputs": 5, ...},
       "metrics": {...},                # fault-class specific, see tasks.py
-      "error": "..."                   # only on status != "ok"
+      "error": "...",                  # only on status != "ok"
+      "transient": false,              # error classification (errors only)
+      "failures": [...]                # retry/fallback provenance trail
     }
 
-Only ``runtime_s`` is nondeterministic; :func:`strip_volatile` removes
-it so stores from different runs/worker counts compare equal.
+Schema-1 records (pre-supervisor) load and resume unchanged — the
+reader is schema-agnostic and the resume key (``task_id`` + ``status``)
+is common to both.
+
+``runtime_s``, ``attempt`` and ``failures`` are the nondeterministic
+fields (they depend on wall-clock and on which injected/real faults a
+run happened to survive); :func:`strip_volatile` removes them so stores
+from different runs/worker counts/fault histories compare equal.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import IO, Iterable, Sequence
 
-SCHEMA_VERSION = 1
+try:  # POSIX advisory locking; absent e.g. on Windows -> lock is a no-op
+    import fcntl
+except ImportError:  # pragma: no cover - platform dependent
+    fcntl = None  # type: ignore[assignment]
+
+SCHEMA_VERSION = 2
+
+#: Fields that legitimately differ between runs that computed the same
+#: results: wall-clock, and the retry/fault-injection history.
+VOLATILE_FIELDS: tuple[str, ...] = ("runtime_s", "attempt", "failures")
+
+
+class StoreLockedError(RuntimeError):
+    """Another campaign holds the append lock on this store file."""
 
 
 class ResultStore:
-    """Append-only JSONL record store with corrupt-tail tolerance."""
+    """Append-only JSONL record store with corrupt-tail tolerance.
 
-    def __init__(self, path: str | Path) -> None:
+    The first :meth:`append` heals a torn tail, opens the file once and
+    (where supported) takes an exclusive advisory lock; the handle is
+    then reused for every subsequent record and released by
+    :meth:`close` (also a context-manager exit).
+    """
+
+    def __init__(
+        self, path: str | Path, *, fsync: bool = False, lock: bool = True
+    ) -> None:
         self.path = Path(path)
+        self.fsync = fsync
+        self.lock = lock
         self._tail_healed = False
+        self._handle: IO[str] | None = None
+
+    # -- lifecycle ---------------------------------------------------------
 
     def _heal_torn_tail(self) -> None:
         """Drop a trailing partial line (mid-write kill) before the
@@ -55,13 +104,57 @@ class ResultStore:
             with self.path.open("r+b") as raw:
                 raw.truncate(keep)
 
-    def append(self, record: dict) -> None:
-        """Append one record and flush (the checkpoint write)."""
+    def _ensure_handle(self) -> IO[str]:
+        """The persistent append handle (healed, opened and locked on
+        first use; transparently reopened after :meth:`close`)."""
+        if self._handle is not None and not self._handle.closed:
+            return self._handle
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._heal_torn_tail()
-        with self.path.open("a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
+        handle = self.path.open("a")
+        if self.lock and fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                handle.close()
+                raise StoreLockedError(
+                    f"{self.path}: store is locked by another campaign "
+                    "(two writers would interleave torn records)"
+                ) from None
+        self._handle = handle
+        return handle
+
+    def close(self) -> None:
+        """Release the append handle (and with it the advisory lock)."""
+        if self._handle is not None:
+            if not self._handle.closed:
+                self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Append one record and flush (the checkpoint write); with
+        ``fsync=True`` also force it to stable storage."""
+        handle = self._ensure_handle()
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    # -- reading -----------------------------------------------------------
 
     def load(self) -> list[dict]:
         """All parseable records, in file order.
@@ -99,14 +192,17 @@ class ResultStore:
             latest[record["task_id"]] = record
         return latest
 
+
 def strip_volatile(records: Iterable[dict]) -> list[dict]:
-    """Drop nondeterministic fields (``runtime_s``) so stores from
-    different runs compare equal; sorted by task id for set-like
-    comparison regardless of completion order."""
+    """Drop nondeterministic fields (:data:`VOLATILE_FIELDS` —
+    ``runtime_s`` plus the retry provenance ``attempt``/``failures``)
+    so stores from different runs compare equal; sorted by task id for
+    set-like comparison regardless of completion order."""
     stripped = []
     for record in records:
         record = dict(record)
-        record.pop("runtime_s", None)
+        for field in VOLATILE_FIELDS:
+            record.pop(field, None)
         stripped.append(record)
     return sorted(stripped, key=lambda r: r["task_id"])
 

@@ -22,7 +22,12 @@ from repro.campaign.runner import (
     expand_grid,
     run_campaign,
 )
-from repro.campaign.store import ResultStore, stores_equal, strip_volatile
+from repro.campaign.store import (
+    ResultStore,
+    StoreLockedError,
+    stores_equal,
+    strip_volatile,
+)
 from repro.campaign.tables import (
     coverage_table,
     escape_table,
@@ -491,3 +496,148 @@ class TestReviewRegressions:
              "--store", str(tmp_path / "s.jsonl")]
         )
         assert seen["workers"] == 1
+
+
+class TestStoreHardening:
+    def test_append_reuses_one_persistent_handle(self, tmp_path):
+        """Regression: ``append`` used to reopen (and re-heal) the file
+        per record; the store must hold one handle for its lifetime."""
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append({"task_id": "a", "status": "ok"})
+        handle = store._handle
+        store.append({"task_id": "b", "status": "ok"})
+        assert store._handle is handle
+        assert len(store.load()) == 2   # flushed per record, readable live
+        store.close()
+
+    def test_heal_then_append_stays_one_record_per_line(self, tmp_path):
+        """Appending after torn-tail healing must not glue the new
+        record onto the truncated remnant."""
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"task_id": "a", "status": "ok"}\n{"task_id": "b')
+        with ResultStore(path) as store:
+            store.append({"task_id": "c", "status": "ok"})
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["task_id"] for line in lines] == ["a", "c"]
+        assert path.read_text().endswith("\n")
+
+    def test_handle_reopens_after_close(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append({"task_id": "a", "status": "ok"})
+        store.close()
+        store.append({"task_id": "b", "status": "ok"})
+        store.close()
+        assert len(store.load()) == 2
+
+    def test_fsync_append_round_trip(self, tmp_path):
+        with ResultStore(tmp_path / "s.jsonl", fsync=True) as store:
+            store.append({"task_id": "a", "status": "ok"})
+            store.append({"task_id": "b", "status": "ok"})
+        assert len(ResultStore(tmp_path / "s.jsonl").load()) == 2
+
+    def test_second_writer_fails_fast(self, tmp_path):
+        pytest.importorskip("fcntl")
+        first = ResultStore(tmp_path / "s.jsonl")
+        first.append({"task_id": "a", "status": "ok"})
+        second = ResultStore(tmp_path / "s.jsonl")
+        with pytest.raises(StoreLockedError, match="locked by another"):
+            second.append({"task_id": "b", "status": "ok"})
+        # Readers are never blocked by the writer's lock.
+        assert len(second.load()) == 1
+        # Closing the first writer releases the lock.
+        first.close()
+        second.append({"task_id": "b", "status": "ok"})
+        second.close()
+        assert len(second.load()) == 2
+
+    def test_lock_opt_out(self, tmp_path):
+        first = ResultStore(tmp_path / "s.jsonl")
+        first.append({"task_id": "a", "status": "ok"})
+        unlocked = ResultStore(tmp_path / "s.jsonl", lock=False)
+        unlocked.append({"task_id": "b", "status": "ok"})
+        first.close()
+        unlocked.close()
+
+    def test_corrupt_line_error_names_the_line(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"task_id": "a"}\nnot json\n{"task_id": "b"}\n')
+        with pytest.raises(ValueError, match="line 2"):
+            ResultStore(path).load()
+
+    def test_strip_volatile_drops_retry_provenance(self):
+        records = [
+            {
+                "task_id": "a", "runtime_s": 1.0, "attempt": 3,
+                "failures": [{"kind": "transient"}], "status": "ok",
+            },
+            {"task_id": "a", "status": "ok"},
+        ]
+        stripped = strip_volatile(records)
+        assert stripped[0] == stripped[1] == {"task_id": "a", "status": "ok"}
+
+
+class TestCliExitCodes:
+    """``python -m repro run`` must exit nonzero when any cell's final
+    record is not ``ok`` (a green exit on a red campaign is how broken
+    CI pipelines are born)."""
+
+    def test_run_exits_nonzero_when_a_cell_errors(self, tmp_path, capsys):
+        from repro.campaign.cli import main
+
+        def boom(_network, _engine):
+            raise RuntimeError("deliberate")
+
+        TASK_RUNNERS["boom"] = boom
+        try:
+            code = main(
+                ["run", "--circuits", "c17", "--fault-classes", "boom",
+                 "--store", str(tmp_path / "f.jsonl")]
+            )
+        finally:
+            del TASK_RUNNERS["boom"]
+        assert code == 1
+        assert "1 failed" in capsys.readouterr().out
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGALRM"), reason="needs SIGALRM"
+    )
+    def test_run_exits_nonzero_when_a_cell_times_out(self, tmp_path, capsys):
+        from repro.campaign.cli import main
+
+        def sleepy(_network, _engine):
+            time.sleep(5.0)
+            return {}
+
+        TASK_RUNNERS["sleepy"] = sleepy
+        try:
+            code = main(
+                ["run", "--circuits", "c17", "--fault-classes", "sleepy",
+                 "--timeout", "0.2",
+                 "--store", str(tmp_path / "t.jsonl")]
+            )
+        finally:
+            del TASK_RUNNERS["sleepy"]
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "1 failed" in out
+
+    def test_failed_store_still_resumable_by_next_run(self, tmp_path):
+        from repro.campaign.cli import main
+
+        calls = {"n": 0}
+
+        def flaky(_network, _engine):
+            calls["n"] += 1
+            if calls["n"] <= 2:   # fail on both engines of the chain
+                raise RuntimeError("first run fails")
+            return {"ok": True}
+
+        TASK_RUNNERS["flaky"] = flaky
+        try:
+            store = str(tmp_path / "r.jsonl")
+            args = ["run", "--circuits", "c17", "--fault-classes", "flaky",
+                    "--store", store]
+            assert main(args) == 1
+            assert main(args) == 0    # failed record rerun, now green
+        finally:
+            del TASK_RUNNERS["flaky"]

@@ -1,0 +1,393 @@
+"""Fault-injection chaos harness for the campaign orchestrator.
+
+The differential discipline of ``tests/test_multiword_engine.py``
+applied to the execution layer itself: a campaign subjected to scripted
+worker SIGKILLs, native-style hangs (soft timeout disarmed), transient
+and permanent exceptions, engine failures and mid-write store
+truncation must
+
+* always complete with one final record per cell (never wedge, never
+  crash the parent),
+* converge — up to the volatile ``runtime_s``/``attempt``/``failures``
+  fields — to the byte-identical store of an undisturbed single-worker
+  run, and
+* quarantine cells that keep killing workers as ``poisoned`` after a
+  bounded number of respawns, leaving them resumable.
+
+Set ``REPRO_CHAOS_STORE_DIR`` to persist the stores the scenarios
+write (the CI ``chaos-smoke`` job uploads them as artifacts).
+"""
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import chaos as chaos_module
+from repro.campaign import runner as runner_module
+from repro.campaign.chaos import (
+    ChaosEngineError,
+    ChaosPolicy,
+    ChaosTransientError,
+    tear_tail,
+)
+from repro.campaign.runner import (
+    FALLBACK_CHAINS,
+    RetryPolicy,
+    TaskSpec,
+    execute_task,
+    expand_grid,
+    run_campaign,
+    run_task_with_retries,
+)
+from repro.campaign.store import ResultStore, stores_equal
+from repro.campaign.tasks import TASK_RUNNERS
+
+GRID_CIRCUITS = ("c17", "tmr_voter")
+GRID_CLASSES = ("stuck_at", "polarity")
+
+KILL = "c17/stuck_at/compiled"
+HANG = "tmr_voter/stuck_at/compiled"
+FLAKY = "c17/polarity/compiled"
+
+#: Tight backoff/watchdog so every scenario runs in a couple seconds.
+FAST = RetryPolicy(backoff_base=0.01, backoff_max=0.05, watchdog_grace=0.3)
+
+needs_posix = pytest.mark.skipif(
+    os.name != "posix", reason="needs POSIX kill/fork semantics"
+)
+needs_fork = pytest.mark.skipif(
+    multiprocessing.get_context().get_start_method() != "fork",
+    reason="runtime-registered task runners reach workers only via fork",
+)
+
+
+@pytest.fixture(scope="module")
+def undisturbed():
+    """The oracle: an uninterrupted inline run of the chaos grid."""
+    result = run_campaign(expand_grid(GRID_CIRCUITS, GRID_CLASSES))
+    assert all(r["status"] == "ok" for r in result.records)
+    return result.records
+
+
+@pytest.fixture
+def chaos_store(tmp_path, request):
+    """Store path for a scenario; lands in ``REPRO_CHAOS_STORE_DIR``
+    when set so CI can upload the surviving stores as artifacts."""
+    base = os.environ.get("REPRO_CHAOS_STORE_DIR")
+    directory = Path(base) if base else tmp_path
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{request.node.name}.jsonl"
+    path.unlink(missing_ok=True)  # stale stores would satisfy resume
+    return path
+
+
+def _record(records, task_id):
+    return next(r for r in records if r["task_id"] == task_id)
+
+
+class TestChaosPolicy:
+    def test_script_indexing_and_default_ok(self):
+        policy = ChaosPolicy({KILL: ("kill", "ok")})
+        assert policy.fault(KILL, 1) == "kill"
+        assert policy.fault(KILL, 2) == "ok"
+        assert policy.fault(KILL, 3) == "ok"      # past the script
+        assert policy.fault("other/task/id", 1) == "ok"
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos fault"):
+            ChaosPolicy({KILL: ("segfault",)})
+
+    def test_policy_is_picklable(self):
+        import pickle
+
+        policy = ChaosPolicy({KILL: ("kill", "ok")})
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone.fault(KILL, 1) == "kill"
+
+
+class TestInjectedExceptions:
+    """Inline (workers=1) chaos: the exception-shaped faults."""
+
+    def test_transient_then_ok_retries_with_provenance(self, undisturbed):
+        grid = expand_grid(GRID_CIRCUITS, GRID_CLASSES)
+        result = run_campaign(
+            grid, chaos=ChaosPolicy({FLAKY: ("transient", "ok")}),
+            policy=FAST,
+        )
+        record = _record(result.records, FLAKY)
+        assert record["status"] == "ok"
+        assert record["attempt"] == 2
+        assert record["failures"][0]["kind"] == "transient"
+        assert "injected transient" in record["failures"][0]["error"]
+        assert stores_equal(result.records, undisturbed)
+
+    def test_transient_exhausts_attempt_budget(self):
+        record = run_task_with_retries(
+            TaskSpec("c17", "stuck_at"),
+            policy=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            chaos=ChaosPolicy({KILL: ("transient", "transient", "ok")}),
+        )
+        assert record["status"] == "error"
+        assert record["transient"] is True
+        assert record["attempt"] == 2
+        assert [f["kind"] for f in record["failures"]] == ["transient"]
+
+    def test_permanent_error_fails_fast(self, undisturbed):
+        grid = expand_grid(GRID_CIRCUITS, GRID_CLASSES)
+        result = run_campaign(
+            grid, chaos=ChaosPolicy({KILL: ("permanent", "ok")}),
+            policy=FAST,
+        )
+        record = _record(result.records, KILL)
+        assert record["status"] == "error"
+        assert record["attempt"] == 1          # no retry burned
+        assert record["transient"] is False
+        assert "injected permanent" in record["error"]
+        assert result.n_failed == 1
+
+    def test_chaos_exception_classification(self):
+        assert runner_module.classify_transient(ChaosTransientError("x"))
+        assert not runner_module.classify_transient(ChaosEngineError("x"))
+        assert runner_module.classify_transient(MemoryError())
+        assert runner_module.classify_transient(OSError())
+        assert not runner_module.classify_transient(ValueError())
+
+
+class TestEngineDegradation:
+    def test_fallback_chains_end_in_legacy(self):
+        assert FALLBACK_CHAINS["auto"] == ("auto", "compiled", "legacy")
+        assert FALLBACK_CHAINS["multiword"] == (
+            "multiword", "compiled", "legacy"
+        )
+        assert FALLBACK_CHAINS["compiled"] == ("compiled", "legacy")
+        assert FALLBACK_CHAINS["legacy"] == ("legacy",)
+
+    def test_engine_failure_degrades_to_legacy(self, undisturbed):
+        record = execute_task(
+            TaskSpec("c17", "stuck_at"),
+            chaos=ChaosPolicy({KILL: ("engine",)}),
+        )
+        assert record["status"] == "ok"
+        assert record["engine"] == "compiled"        # requested (task id key)
+        assert record["engine_used"] == "legacy"     # what actually ran
+        assert record["failures"][0]["kind"] == "engine"
+        assert record["failures"][0]["engine"] == "compiled"
+        # The engines are bit-identical, so degradation is invisible in
+        # the metrics — the whole point of keeping the legacy oracle.
+        assert record["metrics"] == _record(undisturbed, KILL)["metrics"]
+
+    def test_every_engine_failing_is_a_permanent_error(self):
+        def broken(_network, _engine):
+            raise ValueError("all engines broken")
+
+        TASK_RUNNERS["broken"] = broken
+        try:
+            record = execute_task(TaskSpec("c17", "broken"))
+            assert record["status"] == "error"
+            assert record["transient"] is False
+            # Both fallback engines were tried before giving up.
+            assert [f["engine"] for f in record["failures"]] == ["compiled"]
+            assert "all engines broken" in record["error"]
+        finally:
+            del TASK_RUNNERS["broken"]
+
+
+@needs_posix
+class TestSupervisedChaos:
+    """Supervised (workers>1) chaos: deaths, hangs and quarantine."""
+
+    def test_sigkilled_worker_is_respawned_and_cell_retried(
+        self, chaos_store, undisturbed
+    ):
+        grid = expand_grid(GRID_CIRCUITS, GRID_CLASSES)
+        result = run_campaign(
+            grid, store=chaos_store, workers=2,
+            chaos=ChaosPolicy({KILL: ("kill", "ok")}), policy=FAST,
+        )
+        record = _record(result.records, KILL)
+        assert record["status"] == "ok"
+        assert record["attempt"] == 2
+        assert record["failures"][0]["kind"] == "crash"
+        assert stores_equal(result.records, undisturbed)
+        assert stores_equal(
+            list(ResultStore(chaos_store).latest().values()), undisturbed
+        )
+
+    def test_hung_cell_is_killed_by_watchdog_and_retried(
+        self, chaos_store, undisturbed
+    ):
+        grid = expand_grid(GRID_CIRCUITS, GRID_CLASSES)
+        start = time.perf_counter()
+        result = run_campaign(
+            grid, store=chaos_store, workers=2, timeout=1.0,
+            chaos=ChaosPolicy({HANG: ("hang", "ok")}), policy=FAST,
+        )
+        elapsed = time.perf_counter() - start
+        record = _record(result.records, HANG)
+        assert record["status"] == "ok"
+        assert record["failures"][0]["kind"] == "hang"
+        assert "watchdog" in record["failures"][0]["error"]
+        assert elapsed < 20.0                 # reclaimed, not wedged
+        assert stores_equal(result.records, undisturbed)
+
+    def test_acceptance_kill_hang_transient_converges(
+        self, chaos_store, undisturbed
+    ):
+        """ISSUE acceptance: SIGKILL + hung cell + transient-then-ok in
+        one campaign still yields the undisturbed store."""
+        grid = expand_grid(GRID_CIRCUITS, GRID_CLASSES)
+        result = run_campaign(
+            grid, store=chaos_store, workers=2, timeout=1.0,
+            chaos=ChaosPolicy({
+                KILL: ("kill", "ok"),
+                HANG: ("hang", "ok"),
+                FLAKY: ("transient", "ok"),
+            }),
+            policy=FAST,
+        )
+        assert result.n_failed == 0
+        assert stores_equal(result.records, undisturbed)
+        stored = list(ResultStore(chaos_store).latest().values())
+        assert stores_equal(stored, undisturbed)
+        # The store file itself is clean one-record-per-line JSONL.
+        lines = chaos_store.read_text().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_poison_task_is_quarantined_not_looped(
+        self, chaos_store, undisturbed
+    ):
+        grid = expand_grid(GRID_CIRCUITS, GRID_CLASSES)
+        policy = RetryPolicy(
+            max_crash_attempts=2, backoff_base=0.01, backoff_max=0.05,
+            watchdog_grace=0.3,
+        )
+        result = run_campaign(
+            grid, store=chaos_store, workers=2,
+            chaos=ChaosPolicy({KILL: ("kill",) * 6}), policy=policy,
+        )
+        record = _record(result.records, KILL)
+        assert record["status"] == "poisoned"
+        assert "quarantined" in record["error"]
+        assert [f["kind"] for f in record["failures"]] == ["crash", "crash"]
+        assert result.n_failed == 1
+        # The other cells finished despite the poison task.
+        assert sum(1 for r in result.records if r["status"] == "ok") == 3
+
+        # Poisoned records stay resumable: a healthy rerun recomputes
+        # exactly the quarantined cell and converges to the oracle.
+        rerun = run_campaign(grid, store=chaos_store, policy=FAST)
+        assert rerun.n_skipped == 3
+        assert rerun.n_run == 1
+        assert stores_equal(
+            list(ResultStore(chaos_store).latest().values()), undisturbed
+        )
+
+    def test_clean_supervised_run_matches_inline(
+        self, chaos_store, undisturbed
+    ):
+        grid = expand_grid(GRID_CIRCUITS, GRID_CLASSES)
+        result = run_campaign(grid, store=chaos_store, workers=3)
+        assert stores_equal(result.records, undisturbed)
+
+
+@needs_posix
+@needs_fork
+class TestWatchdogWithoutSigalrm:
+    """The timeout path on platforms without ``SIGALRM``: the soft
+    in-worker timer is unavailable, so the supervisor's external
+    watchdog is the only enforcement (previously untested)."""
+
+    def test_watchdog_bounds_cell_without_soft_timeout(
+        self, monkeypatch, chaos_store
+    ):
+        monkeypatch.setattr(runner_module, "_HAS_SIGALRM", False)
+
+        def sleepy(_network, _engine):
+            time.sleep(30.0)
+            return {}
+
+        TASK_RUNNERS["sleepy"] = sleepy
+        try:
+            grid = [TaskSpec("c17", "sleepy"), TaskSpec("c17", "stuck_at")]
+            policy = RetryPolicy(
+                max_crash_attempts=1, backoff_base=0.01,
+                watchdog_grace=0.3,
+            )
+            start = time.perf_counter()
+            result = run_campaign(
+                grid, store=chaos_store, workers=2, timeout=0.5,
+                policy=policy,
+            )
+            elapsed = time.perf_counter() - start
+            record = _record(result.records, "c17/sleepy/compiled")
+            assert record["status"] == "timeout"
+            assert "watchdog" in record["error"]
+            assert _record(result.records, KILL)["status"] == "ok"
+            assert elapsed < 20.0
+            assert result.n_failed == 1
+        finally:
+            del TASK_RUNNERS["sleepy"]
+
+    def test_execute_task_runs_unbounded_without_alarm(self, monkeypatch):
+        monkeypatch.setattr(runner_module, "_HAS_SIGALRM", False)
+        record = execute_task(TaskSpec("c17", "stuck_at"), timeout=0.000001)
+        # No soft timer available: the cell runs to completion instead
+        # of being interrupted (the watchdog covers it when supervised).
+        assert record["status"] == "ok"
+
+
+class TestStoreChaos:
+    def test_mid_write_truncation_heals_and_resumes(
+        self, chaos_store, undisturbed
+    ):
+        grid = expand_grid(GRID_CIRCUITS, GRID_CLASSES)
+        run_campaign(grid, store=chaos_store)
+        tear_tail(chaos_store)
+        assert not chaos_store.read_bytes().endswith(b"\n")  # torn
+
+        result = run_campaign(grid, store=chaos_store, policy=FAST)
+        assert result.n_skipped == 3
+        assert result.n_run == 1              # exactly the torn record
+        assert stores_equal(
+            list(ResultStore(chaos_store).latest().values()), undisturbed
+        )
+        # Healing kept the file one-record-per-line.
+        for line in chaos_store.read_text().splitlines():
+            json.loads(line)
+
+    def test_tear_tail_requires_records(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        with pytest.raises(ValueError, match="nothing to tear"):
+            tear_tail(empty)
+
+
+class TestBackoffSchedule:
+    def test_exponential_backoff_capped(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.35
+        )
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.35)   # capped
+        assert policy.backoff(9) == pytest.approx(0.35)
+
+    def test_inline_retry_sleeps_backoff(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            runner_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        record = run_task_with_retries(
+            TaskSpec("c17", "stuck_at"),
+            policy=RetryPolicy(
+                max_attempts=3, backoff_base=0.1, backoff_factor=2.0,
+                backoff_max=10.0,
+            ),
+            chaos=ChaosPolicy({KILL: ("transient", "transient", "ok")}),
+        )
+        assert record["status"] == "ok"
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
