@@ -14,10 +14,13 @@ artifact).
 A second, **scaling** tier covers the multi-word 2-D engine on the
 ISCAS-class corpus (``benchmarks/netlists/``): a full stuck-at +
 polarity random-simulation campaign (the ``fault_sim`` task) per
-corpus circuit, with a single-digit-second wall-clock bar on the
->=1000-gate cpx1908.  Both tiers land in the same ``BENCH_atpg.json``
-record (schema v2: classic engine comparison under ``records``,
-corpus sweeps under ``scaling``).
+corpus circuit — combinational (cpx432 / cpx880 / cpx1908) and
+sequential (sqx344 / sqx1488, time-frame expanded over 3 clock cycles
+per test) — with single-digit-second wall-clock bars on the
+>=1000-gate cpx1908 and sqx1488.  Both tiers land in the same
+``BENCH_atpg.json`` record (schema v2: classic engine comparison under
+``records``, corpus sweeps under ``scaling``; sequential rows carry a
+non-null ``frames``).
 
 Dual-mode: run under pytest (``pytest benchmarks/bench_atpg_speed.py``)
 for the full bars, or standalone::
@@ -47,11 +50,15 @@ CIRCUITS = ("rca8", "rca16", "alu4")
 #: Acceptance circuits and their required end-to-end speedup.
 SPEEDUP_BARS = {"rca16": 5.0, "alu4": 5.0}
 SMOKE_BAR = 2.0
-#: Scaling tier: ISCAS-class corpus circuits for the multi-word sweep.
-SCALING_CIRCUITS = ("cpx432", "cpx880", "cpx1908")
-#: The ISSUE acceptance bar — full stuck-at + polarity campaign on the
-#: >=1000-gate circuit in single-digit seconds (relaxed under --smoke).
-SCALING_BARS_S = {"cpx1908": 9.0}
+#: Scaling tier: ISCAS-class corpus circuits for the multi-word sweep —
+#: combinational plus the sequential (DFF) pair, which runs time-frame
+#: expanded (FAULT_SIM_FRAMES cycles per test).
+SCALING_CIRCUITS = ("cpx432", "cpx880", "cpx1908", "sqx344", "sqx1488")
+#: The acceptance bars — full stuck-at + polarity campaigns on the
+#: >=1000-gate circuits in single-digit seconds (relaxed under
+#: --smoke).  sqx1488 unrolled x3 is a ~4500-gate problem, so its bar
+#: doubles as the sequential-path perf gate.
+SCALING_BARS_S = {"cpx1908": 9.0, "sqx1488": 9.0}
 SCALING_SMOKE_BAR_S = 30.0
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_atpg.json"
 
@@ -119,6 +126,7 @@ def run_scaling(circuits=SCALING_CIRCUITS, repeats=2):
         records.append({
             "circuit": name,
             "gates": len(network.gates),
+            "frames": metrics.get("n_frames"),  # None: combinational
             "vectors": FAULT_SIM_VECTORS,
             "stuck_at_faults": metrics["n_stuck_at_faults"],
             "stuck_at_coverage": metrics["stuck_at_coverage"],
@@ -132,10 +140,13 @@ def run_scaling(circuits=SCALING_CIRCUITS, repeats=2):
 def format_scaling_report(records):
     rows = [
         (
-            r["circuit"], r["gates"], r["stuck_at_faults"],
+            r["circuit"], r["gates"],
+            "-" if r["frames"] is None else f"x{r['frames']}",
+            r["stuck_at_faults"],
             r["polarity_faults"], r["vectors"],
             f"{r['stuck_at_coverage'] * 100:.1f}%",
-            f"{r['polarity_iddq_coverage'] * 100:.1f}%",
+            "n/a" if r["polarity_iddq_coverage"] is None
+            else f"{r['polarity_iddq_coverage'] * 100:.1f}%",
             f"{r['seconds']:.2f}",
         )
         for r in records
@@ -144,15 +155,17 @@ def format_scaling_report(records):
         "Scaling tier: multi-word 2-D fault x vector sweeps on the "
         "ISCAS-class corpus",
         ascii_table(
-            ("circuit", "gates", "sa faults", "pol faults", "vectors",
-             "sa cov", "iddq cov", "seconds"),
+            ("circuit", "gates", "frames", "sa faults", "pol faults",
+             "vectors", "sa cov", "iddq cov", "seconds"),
             rows,
         ),
         "",
         "Full stuck-at + polarity (voltage and IDDQ) random-vector",
         "campaign per circuit through repro.logic.multiword: the fault",
         "batch and the whole vector set simulate as one numpy uint64",
-        "sweep (fault-major x vector-word axes).",
+        "sweep (fault-major x vector-word axes).  Sequential circuits",
+        "(frames column) run time-frame expanded; each vector is a",
+        "per-cycle input sequence and faults replicate across frames.",
     ])
 
 

@@ -24,6 +24,24 @@ The campaign entry points (:func:`parallel_stuck_at_simulation`,
 setting — ``auto`` (default) picks the multi-word engine once the
 (faults x vectors) problem is large enough to amortize numpy dispatch.
 
+**Sequential netlists** run through the same entry points via the
+``unroll=`` knob: pass ``unroll=<n_frames>`` and each *vector* becomes a
+per-cycle input sequence (``vector[k]`` drives clock cycle ``k``; an
+optional ``initial_state=`` pins frame-0 flop outputs, default X).  The
+network is time-frame expanded (:mod:`repro.logic.sequential`), each
+logical fault is lowered to one injection covering its every-frame
+replicas, and detection means *any* frame's primary outputs differ —
+so per-frame detection semantics come from observing all frames'
+outputs.  Without ``unroll=``, sequential networks raise
+:class:`~repro.logic.network.SequentialNetworkError`.
+
+For stuck-open faults on sequential netlists the engines share a
+first-order approximation: each replica's retained/floating output is
+derived from the *fault-free* init/test simulations (the standard
+good-machine local-input assumption of the combinational path, applied
+per frame).  All three engines implement the same definition, so their
+results stay bit-identical.
+
 The fault-injection override contract (line vs. pin vs. gate overrides)
 is documented once, in :mod:`repro.logic.compiled`.
 """
@@ -41,6 +59,7 @@ from repro.faults.logic import (
     StuckOpenFault,
 )
 from repro.gates.library import ALL_CELLS
+from repro.logic import sequential
 from repro.logic.compiled import (
     CompiledNetwork,
     FaultInjection,
@@ -93,43 +112,83 @@ def _use_multiword(engine: str, n_faults: int, n_vectors: int) -> bool:
 # ---------------------------------------------------------------------------
 
 def detects_stuck_at(
-    network: Network, fault: StuckAtFault, vector: TestVector
+    network: Network,
+    fault: StuckAtFault,
+    vector,
+    unroll: int | None = None,
+    initial_state: Mapping[str, int] | None = None,
 ) -> bool:
-    """Serial check: does ``vector`` detect ``fault`` at the outputs?"""
-    good = simulate_outputs(network, vector)
-    bad = simulate_outputs(network, vector, **fault.overrides())
+    """Serial check: does ``vector`` detect ``fault`` at the outputs?
+
+    With ``unroll=``, ``vector`` is a per-cycle input sequence and the
+    fault is present in every frame.
+    """
+    if unroll is None:
+        sequential.require_combinational(network, "detects_stuck_at")
+        good = simulate_outputs(network, vector)
+        bad = simulate_outputs(network, vector, **fault.overrides())
+        return vectors_differ(good, bad)
+    uv = sequential.unroll_network(network, unroll)
+    flat = uv.flatten_vector(vector, initial_state)
+    good = simulate_outputs(uv.network, flat)
+    bad = simulate_outputs(
+        uv.network, flat, **sequential.stuck_at_serial_overrides(uv, fault)
+    )
     return vectors_differ(good, bad)
 
 
 def detects_polarity(
     network: Network,
     fault: PolarityFault,
-    vector: TestVector,
+    vector,
     iddq: bool = False,
+    unroll: int | None = None,
+    initial_state: Mapping[str, int] | None = None,
 ) -> bool:
     """Does ``vector`` detect a polarity fault?
 
     Voltage mode compares primary outputs; IDDQ mode checks whether the
     vector drives the faulty gate into one of its conflict (elevated
-    leakage) input combinations.
+    leakage) input combinations — with ``unroll=``, into a conflict in
+    *any* frame (the defect leaks whenever activated in any cycle).
     """
+    if unroll is None:
+        sequential.require_combinational(network, "detects_polarity")
+        if iddq:
+            values = simulate(network, vector)
+            gate = network.gates[fault.gate]
+            local = tuple(values[n] for n in gate.inputs)
+            if any(v not in (0, 1) for v in local):
+                return False
+            return local in fault.iddq_vectors()
+        good = simulate_outputs(network, vector)
+        bad = simulate_outputs(network, vector, **fault.overrides())
+        return vectors_differ(good, bad)
+    uv = sequential.unroll_network(network, unroll)
+    flat = uv.flatten_vector(vector, initial_state)
     if iddq:
-        values = simulate(network, vector)
-        gate = network.gates[fault.gate]
-        local = tuple(values[n] for n in gate.inputs)
-        if any(v not in (0, 1) for v in local):
-            return False
-        return local in fault.iddq_vectors()
-    good = simulate_outputs(network, vector)
-    bad = simulate_outputs(network, vector, **fault.overrides())
+        values = simulate(uv.network, flat)
+        minterms = fault.iddq_vectors()
+        for gname in uv.replica_gates(fault.gate):
+            gate = uv.network.gates[gname]
+            local = tuple(values[n] for n in gate.inputs)
+            if all(v in (0, 1) for v in local) and local in minterms:
+                return True
+        return False
+    good = simulate_outputs(uv.network, flat)
+    bad = simulate_outputs(
+        uv.network, flat, **sequential.polarity_serial_overrides(uv, fault)
+    )
     return vectors_differ(good, bad)
 
 
 def detects_stuck_open(
     network: Network,
     fault: StuckOpenFault,
-    init_vector: TestVector,
-    test_vector: TestVector,
+    init_vector,
+    test_vector,
+    unroll: int | None = None,
+    initial_state: Mapping[str, int] | None = None,
 ) -> bool:
     """Two-pattern stuck-open detection.
 
@@ -137,39 +196,77 @@ def detects_stuck_open(
     the init-pattern value) whenever the broken transistor was the only
     conducting path; the retained value then propagates like any logic
     difference.
+
+    With ``unroll=``, both patterns are per-cycle sequences and every
+    frame replica of the gate carries the break; each replica's
+    retained/floating value is derived from the fault-free init/test
+    frames (the same first-order approximation as the batched engines,
+    so all three paths agree bit for bit).
     """
-    cell = ALL_CELLS[fault.gtype]
+    if unroll is None:
+        sequential.require_combinational(network, "detects_stuck_open")
+        cell = ALL_CELLS[fault.gtype]
 
-    # First pattern: the broken gate still drives (possibly through the
-    # healthy partner network); compute its local output.
-    def faulty_gate_override(previous: dict):
-        def override(gate, pins) -> int:
-            key = tuple(pins)
-            if any(p not in (0, 1) for p in key):
-                return X
-            result = evaluate(
-                cell,
-                key,
-                {fault.transistor: DeviceState.STUCK_OPEN},
-                previous_output=previous.get("value", X),
-            )
-            out = result.output
-            if out == Z:
-                out = previous.get("value", X)
-            previous["value"] = out
-            return out
+        # First pattern: the broken gate still drives (possibly through
+        # the healthy partner network); compute its local output.
+        def faulty_gate_override(previous: dict):
+            def override(gate, pins) -> int:
+                key = tuple(pins)
+                if any(p not in (0, 1) for p in key):
+                    return X
+                result = evaluate(
+                    cell,
+                    key,
+                    {fault.transistor: DeviceState.STUCK_OPEN},
+                    previous_output=previous.get("value", X),
+                )
+                out = result.output
+                if out == Z:
+                    out = previous.get("value", X)
+                previous["value"] = out
+                return out
 
-        return override
+            return override
 
-    state: dict = {}
-    override = faulty_gate_override(state)
-    simulate(
-        network, init_vector, gate_overrides={fault.gate: override}
-    )
+        state: dict = {}
+        override = faulty_gate_override(state)
+        simulate(
+            network, init_vector, gate_overrides={fault.gate: override}
+        )
+        bad = simulate_outputs(
+            network, test_vector, gate_overrides={fault.gate: override}
+        )
+        good = simulate_outputs(network, test_vector)
+        return vectors_differ(good, bad)
+
+    uv = sequential.unroll_network(network, unroll)
+    flat_init = uv.flatten_vector(init_vector, initial_state)
+    flat_test = uv.flatten_vector(test_vector, initial_state)
+    init_values = simulate(uv.network, flat_init)
+    test_values = simulate(uv.network, flat_test)
+    table = _broken_local_table(fault.gtype, fault.transistor)
+    line_overrides: dict[str, int] = {}
+    for gname in uv.replica_gates(fault.gate):
+        gate = uv.network.gates[gname]
+        init_pins = tuple(init_values[n] for n in gate.inputs)
+        test_pins = tuple(test_values[n] for n in gate.inputs)
+        if all(p in (0, 1) for p in init_pins):
+            retained = table[init_pins]
+            if retained == Z:
+                retained = X  # floats with no earlier pattern: unknown
+        else:
+            retained = X
+        if all(p in (0, 1) for p in test_pins):
+            forced = table[test_pins]
+            if forced == Z:
+                forced = retained
+        else:
+            forced = X
+        line_overrides[gate.output] = forced
+    good = simulate_outputs(uv.network, flat_test)
     bad = simulate_outputs(
-        network, test_vector, gate_overrides={fault.gate: override}
+        uv.network, flat_test, line_overrides=line_overrides
     )
-    good = simulate_outputs(network, test_vector)
     return vectors_differ(good, bad)
 
 
@@ -210,6 +307,80 @@ def _broken_local_table(
         ).output
         for vector in itertools.product((0, 1), repeat=cell.n_inputs)
     }
+
+
+# ---------------------------------------------------------------------------
+# Problem lowering: (network, faults, vectors, unroll) -> compiled form
+# ---------------------------------------------------------------------------
+
+def _stuck_at_problem(network, faults, vectors, unroll, initial_state):
+    """Compile + lower a stuck-at problem (unrolling when asked)."""
+    if unroll is None:
+        sequential.require_combinational(
+            network, "stuck-at simulation"
+        )
+        cnet = compile_network(network)
+        return cnet, [stuck_at_injection(cnet, f) for f in faults], vectors
+    uv = sequential.unroll_network(network, unroll)
+    cnet = compile_network(uv.network)
+    injections = [
+        sequential.stuck_at_unrolled_injection(uv, cnet, f)
+        for f in faults
+    ]
+    return cnet, injections, uv.flatten_vectors(vectors, initial_state)
+
+
+def _polarity_problem(network, faults, vectors, unroll, initial_state):
+    """Compile + lower a polarity problem.
+
+    Returns ``(cnet, injections, gate_lists, vectors)`` — ``gate_lists``
+    holds, per fault, the gate replicas whose local inputs activate the
+    IDDQ conflict (one gate combinationally, one per frame unrolled).
+    """
+    if unroll is None:
+        sequential.require_combinational(
+            network, "polarity simulation"
+        )
+        cnet = compile_network(network)
+        injections = [polarity_injection(cnet, f) for f in faults]
+        gate_lists = [[f.gate] for f in faults]
+        return cnet, injections, gate_lists, vectors
+    uv = sequential.unroll_network(network, unroll)
+    cnet = compile_network(uv.network)
+    injections = [
+        sequential.polarity_unrolled_injection(uv, cnet, f)
+        for f in faults
+    ]
+    gate_lists = [uv.replica_gates(f.gate) for f in faults]
+    return (
+        cnet, injections, gate_lists,
+        uv.flatten_vectors(vectors, initial_state),
+    )
+
+
+def _stuck_open_problem(network, faults, pairs, unroll, initial_state):
+    """Compile + lower a two-pattern stuck-open problem.
+
+    Returns ``(cnet, gate_lists, pairs)`` with per-fault gate-replica
+    lists; the per-chunk retained-value injections are built against
+    each chunk's good init/test words.
+    """
+    if unroll is None:
+        sequential.require_combinational(
+            network, "stuck-open simulation"
+        )
+        cnet = compile_network(network)
+        return cnet, [[f.gate] for f in faults], pairs
+    uv = sequential.unroll_network(network, unroll)
+    cnet = compile_network(uv.network)
+    flat_pairs = [
+        (
+            uv.flatten_vector(init, initial_state),
+            uv.flatten_vector(test, initial_state),
+        )
+        for init, test in pairs
+    ]
+    return cnet, [uv.replica_gates(f.gate) for f in faults], flat_pairs
 
 
 # ---------------------------------------------------------------------------
@@ -265,17 +436,11 @@ def _result_from_words(
     return FaultSimResult(detected=detected, undetected=sorted(undetected))
 
 
-def stuck_at_detection_words(
-    network: Network,
-    faults: Sequence[StuckAtFault],
-    vectors: Sequence[TestVector],
-    engine: str = "auto",
+def _injection_detection_words(
+    cnet, injections, vectors, engine
 ) -> list[int]:
-    """Full detection matrix: per fault, a word whose bit ``k`` is set
-    iff ``vectors[k]`` detects the fault (no dropping)."""
-    cnet = compile_network(network)
-    injections = [stuck_at_injection(cnet, f) for f in faults]
-    if _use_multiword(engine, len(faults), len(vectors)):
+    """Detection matrix over prebuilt injections (engine dispatch)."""
+    if _use_multiword(engine, len(injections), len(vectors)):
         return _multiword_detection_words(cnet, injections, vectors)
     packed = pack_vectors(cnet, vectors)
     good = cnet.simulate(packed)
@@ -285,24 +450,11 @@ def stuck_at_detection_words(
     ]
 
 
-def parallel_stuck_at_simulation(
-    network: Network,
-    faults: Sequence[StuckAtFault],
-    vectors: Sequence[TestVector],
-    engine: str = "auto",
+def _injection_campaign(
+    cnet, names, injections, vectors, engine
 ) -> FaultSimResult:
-    """Bit-parallel stuck-at campaign with fault dropping.
-
-    On the multi-word engine the whole (faults x vectors) matrix runs
-    as one 2-D sweep (dropping is implicit — everything is computed at
-    once); the single-word path processes :data:`_CHUNK_BITS` vectors
-    per pass and never re-simulates a fault detected in an earlier
-    chunk.  Both report the same first-detection indices.
-    """
-    cnet = compile_network(network)
-    names = [f.name for f in faults]
-    injections = [stuck_at_injection(cnet, f) for f in faults]
-    if _use_multiword(engine, len(faults), len(vectors)):
+    """First-detection campaign over prebuilt injections with dropping."""
+    if _use_multiword(engine, len(names), len(vectors)):
         return _result_from_words(
             names, _multiword_detection_words(cnet, injections, vectors)
         )
@@ -325,6 +477,49 @@ def parallel_stuck_at_simulation(
     )
 
 
+def stuck_at_detection_words(
+    network: Network,
+    faults: Sequence[StuckAtFault],
+    vectors,
+    engine: str = "auto",
+    unroll: int | None = None,
+    initial_state: Mapping[str, int] | None = None,
+) -> list[int]:
+    """Full detection matrix: per fault, a word whose bit ``k`` is set
+    iff ``vectors[k]`` detects the fault (no dropping).
+
+    With ``unroll=``, each vector is a per-cycle input sequence and bit
+    ``k`` covers detection at any frame of sequence ``k``.
+    """
+    cnet, injections, vectors = _stuck_at_problem(
+        network, faults, vectors, unroll, initial_state
+    )
+    return _injection_detection_words(cnet, injections, vectors, engine)
+
+
+def parallel_stuck_at_simulation(
+    network: Network,
+    faults: Sequence[StuckAtFault],
+    vectors,
+    engine: str = "auto",
+    unroll: int | None = None,
+    initial_state: Mapping[str, int] | None = None,
+) -> FaultSimResult:
+    """Bit-parallel stuck-at campaign with fault dropping.
+
+    On the multi-word engine the whole (faults x vectors) matrix runs
+    as one 2-D sweep (dropping is implicit — everything is computed at
+    once); the single-word path processes :data:`_CHUNK_BITS` vectors
+    per pass and never re-simulates a fault detected in an earlier
+    chunk.  Both report the same first-detection indices.
+    """
+    names = [f.name for f in faults]
+    cnet, injections, vectors = _stuck_at_problem(
+        network, faults, vectors, unroll, initial_state
+    )
+    return _injection_campaign(cnet, names, injections, vectors, engine)
+
+
 # ---------------------------------------------------------------------------
 # Batched polarity campaigns (voltage and IDDQ observables)
 # ---------------------------------------------------------------------------
@@ -332,6 +527,8 @@ def parallel_stuck_at_simulation(
 def _multiword_polarity_words(
     cnet,
     faults: Sequence[PolarityFault],
+    injections,
+    gate_lists,
     vectors: Sequence[TestVector],
     iddq: bool,
 ) -> list[int]:
@@ -339,99 +536,113 @@ def _multiword_polarity_words(
 
     Voltage mode is a fault-parallel table-override sweep; IDDQ mode
     needs only the shared good simulation — per fault, the word of
-    vectors driving its gate into a conflict-activating combination.
+    vectors driving any of its gate replicas into a conflict-activating
+    combination.
     """
     from repro.logic import multiword as mw
 
     mv = mw.pack_vectors_multiword(cnet, vectors)
     good = mw.simulate_good(cnet, mv)
     if not iddq:
-        return mw.batch_detect(
-            cnet, mv, good,
-            [polarity_injection(cnet, f) for f in faults],
-        )
+        return mw.batch_detect(cnet, mv, good, injections)
     words = []
-    for fault in faults:
-        pin_rows = mw.gate_input_rows(cnet, good, fault.gate)
+    for fault, gates in zip(faults, gate_lists):
         word = 0
-        for minterm in fault.iddq_vectors():
-            word |= mw.int_from_words(
-                mw.minterm_word_multiword(pin_rows, minterm, mv.mask)
-            )
+        for gname in gates:
+            pin_rows = mw.gate_input_rows(cnet, good, gname)
+            for minterm in fault.iddq_vectors():
+                word |= mw.int_from_words(
+                    mw.minterm_word_multiword(pin_rows, minterm, mv.mask)
+                )
         words.append(word)
     return words
+
+
+def _iddq_word(cnet, good, gates, minterms, mask) -> int:
+    """Single-word IDDQ activation word over a fault's gate replicas."""
+    word = 0
+    for gname in gates:
+        pin_words = cnet.gate_input_words(good, gname)
+        for minterm in minterms:
+            word |= minterm_word(pin_words, minterm, mask)
+    return word
 
 
 def polarity_detection_words(
     network: Network,
     faults: Sequence[PolarityFault],
-    vectors: Sequence[TestVector],
+    vectors,
     iddq: bool = False,
     engine: str = "auto",
+    unroll: int | None = None,
+    initial_state: Mapping[str, int] | None = None,
 ) -> list[int]:
     """Per-fault detection words for polarity faults.
 
     Voltage mode injects the faulty local table and compares outputs;
     IDDQ mode needs only the shared fault-free simulation — a vector
     covers a fault when it drives the gate into a conflict-activating
-    local combination.
+    local combination (in any frame, with ``unroll=``).
     """
-    cnet = compile_network(network)
+    cnet, injections, gate_lists, vectors = _polarity_problem(
+        network, faults, vectors, unroll, initial_state
+    )
     if _use_multiword(engine, len(faults), len(vectors)):
-        return _multiword_polarity_words(cnet, faults, vectors, iddq)
+        return _multiword_polarity_words(
+            cnet, faults, injections, gate_lists, vectors, iddq
+        )
     packed = pack_vectors(cnet, vectors)
     good = cnet.simulate(packed)
     words = []
-    for fault in faults:
+    for fault, injection, gates in zip(faults, injections, gate_lists):
         if iddq:
-            pin_words = cnet.gate_input_words(good, fault.gate)
-            word = 0
-            for minterm in fault.iddq_vectors():
-                word |= minterm_word(pin_words, minterm, packed.mask)
-            words.append(word)
-        else:
             words.append(
-                cnet.detect_word(
-                    packed, good, polarity_injection(cnet, fault)
+                _iddq_word(
+                    cnet, good, gates, fault.iddq_vectors(), packed.mask
                 )
             )
+        else:
+            words.append(cnet.detect_word(packed, good, injection))
     return words
 
 
 def parallel_polarity_simulation(
     network: Network,
     faults: Sequence[PolarityFault],
-    vectors: Sequence[TestVector],
+    vectors,
     iddq: bool = False,
     engine: str = "auto",
+    unroll: int | None = None,
+    initial_state: Mapping[str, int] | None = None,
 ) -> FaultSimResult:
     """Batched polarity-fault campaign (voltage or IDDQ observables)."""
-    cnet = compile_network(network)
+    cnet, injections, gate_lists, vectors = _polarity_problem(
+        network, faults, vectors, unroll, initial_state
+    )
+    if not iddq:
+        return _injection_campaign(
+            cnet, [f.name for f in faults], injections, vectors, engine
+        )
     if _use_multiword(engine, len(faults), len(vectors)):
         return _result_from_words(
             [f.name for f in faults],
-            _multiword_polarity_words(cnet, faults, vectors, iddq),
+            _multiword_polarity_words(
+                cnet, faults, injections, gate_lists, vectors, iddq=True
+            ),
         )
     detected: dict[str, int] = {}
     undetected = {f.name for f in faults}
     for base in range(0, len(vectors), _CHUNK_BITS):
         if not undetected:
             break
-        chunk = vectors[base:base + _CHUNK_BITS]
-        packed = pack_vectors(cnet, chunk)
+        packed = pack_vectors(cnet, vectors[base:base + _CHUNK_BITS])
         good = cnet.simulate(packed)
-        for fault in faults:
+        for fault, gates in zip(faults, gate_lists):
             if fault.name not in undetected:
                 continue
-            if iddq:
-                pin_words = cnet.gate_input_words(good, fault.gate)
-                word = 0
-                for minterm in fault.iddq_vectors():
-                    word |= minterm_word(pin_words, minterm, packed.mask)
-            else:
-                word = cnet.detect_word(
-                    packed, good, polarity_injection(cnet, fault)
-                )
+            word = _iddq_word(
+                cnet, good, gates, fault.iddq_vectors(), packed.mask
+            )
             if word:
                 detected[fault.name] = base + (word & -word).bit_length() - 1
                 undetected.discard(fault.name)
@@ -443,8 +654,10 @@ def parallel_polarity_simulation(
 def serial_polarity_simulation(
     network: Network,
     faults: Sequence[PolarityFault],
-    vectors: Sequence[TestVector],
+    vectors,
     iddq: bool = False,
+    unroll: int | None = None,
+    initial_state: Mapping[str, int] | None = None,
 ) -> FaultSimResult:
     """Serial polarity campaign — kept as the cross-check oracle for
     :func:`parallel_polarity_simulation`."""
@@ -454,7 +667,10 @@ def serial_polarity_simulation(
         for fault in faults:
             if fault.name not in undetected:
                 continue
-            if detects_polarity(network, fault, vector, iddq=iddq):
+            if detects_polarity(
+                network, fault, vector, iddq=iddq,
+                unroll=unroll, initial_state=initial_state,
+            ):
                 detected[fault.name] = k
                 undetected.discard(fault.name)
     return FaultSimResult(
@@ -469,6 +685,7 @@ def serial_polarity_simulation(
 def _stuck_open_bad_words(
     cnet: CompiledNetwork,
     fault: StuckOpenFault,
+    gate_name: str,
     good_init,
     good_test,
     mask: int,
@@ -482,8 +699,8 @@ def _stuck_open_bad_words(
     init-pattern output word bitwise.
     """
     table = _broken_local_table(fault.gtype, fault.transistor)
-    init_pins = cnet.gate_input_words(good_init, fault.gate)
-    test_pins = cnet.gate_input_words(good_test, fault.gate)
+    init_pins = cnet.gate_input_words(good_init, gate_name)
+    test_pins = cnet.gate_input_words(good_test, gate_name)
     init_ones, init_zeros = eval_table_packed(table, init_pins, mask)
     ones = 0
     zeros = 0
@@ -501,9 +718,22 @@ def _stuck_open_bad_words(
     return ones, zeros
 
 
+def _stuck_open_injection(
+    cnet, fault, gates, good_init, good_test, mask
+) -> FaultInjection:
+    """Retained-value injection covering every replica of the break."""
+    return FaultInjection(words={
+        cnet.gate_output_index(gname): _stuck_open_bad_words(
+            cnet, fault, gname, good_init, good_test, mask
+        )
+        for gname in gates
+    })
+
+
 def _multiword_stuck_open_words(
     cnet,
     faults: Sequence[StuckOpenFault],
+    gate_lists,
     pairs: Sequence[tuple[TestVector, TestVector]],
 ) -> list[int]:
     """Multi-word two-pattern stuck-open detection matrix.
@@ -521,82 +751,89 @@ def _multiword_stuck_open_words(
     good_init = mw.simulate_good(cnet, init_mv)
     good_test = mw.simulate_good(cnet, test_mv)
     injections = []
-    for fault in faults:
+    for fault, gates in zip(faults, gate_lists):
         table = _broken_local_table(fault.gtype, fault.transistor)
-        init_pins = mw.gate_input_rows(cnet, good_init, fault.gate)
-        test_pins = mw.gate_input_rows(cnet, good_test, fault.gate)
-        init_ones, init_zeros = mw._eval_table_row(
-            table, init_pins, init_mv.mask
-        )
-        ones = test_mv.mask & 0
-        zeros = test_mv.mask & 0
-        for minterm, value in table.items():
-            word = mw.minterm_word_multiword(
-                test_pins, minterm, test_mv.mask
+        words = {}
+        for gname in gates:
+            init_pins = mw.gate_input_rows(cnet, good_init, gname)
+            test_pins = mw.gate_input_rows(cnet, good_test, gname)
+            init_ones, init_zeros = mw._eval_table_row(
+                table, init_pins, init_mv.mask
             )
-            if not word.any():
-                continue
-            if value == 1:
-                ones |= word
-            elif value == 0:
-                zeros |= word
-            elif value == Z:
-                ones |= word & init_ones
-                zeros |= word & init_zeros
-        injections.append(
-            FaultInjection(
-                words={
-                    cnet.gate_output_index(fault.gate): (
-                        mw.int_from_words(ones),
-                        mw.int_from_words(zeros),
-                    )
-                }
+            ones = test_mv.mask & 0
+            zeros = test_mv.mask & 0
+            for minterm, value in table.items():
+                word = mw.minterm_word_multiword(
+                    test_pins, minterm, test_mv.mask
+                )
+                if not word.any():
+                    continue
+                if value == 1:
+                    ones |= word
+                elif value == 0:
+                    zeros |= word
+                elif value == Z:
+                    ones |= word & init_ones
+                    zeros |= word & init_zeros
+            words[cnet.gate_output_index(gname)] = (
+                mw.int_from_words(ones),
+                mw.int_from_words(zeros),
             )
-        )
+        injections.append(FaultInjection(words=words))
     return mw.batch_detect(cnet, test_mv, good_test, injections)
 
 
 def stuck_open_detection_words(
     network: Network,
     faults: Sequence[StuckOpenFault],
-    pairs: Sequence[tuple[TestVector, TestVector]],
+    pairs,
     engine: str = "auto",
+    unroll: int | None = None,
+    initial_state: Mapping[str, int] | None = None,
 ) -> list[int]:
-    """Per-fault detection words over (init, test) two-pattern pairs."""
-    cnet = compile_network(network)
+    """Per-fault detection words over (init, test) two-pattern pairs.
+
+    With ``unroll=``, each pattern of a pair is a per-cycle input
+    sequence (a scan-style two-sequence test).
+    """
+    cnet, gate_lists, pairs = _stuck_open_problem(
+        network, faults, pairs, unroll, initial_state
+    )
     if _use_multiword(engine, len(faults), len(pairs)):
-        return _multiword_stuck_open_words(cnet, faults, pairs)
+        return _multiword_stuck_open_words(cnet, faults, gate_lists, pairs)
     init_packed = pack_vectors(cnet, [p[0] for p in pairs])
     test_packed = pack_vectors(cnet, [p[1] for p in pairs])
     good_init = cnet.simulate(init_packed)
     good_test = cnet.simulate(test_packed)
-    words = []
-    for fault in faults:
-        forced = _stuck_open_bad_words(
-            cnet, fault, good_init, good_test, test_packed.mask
+    return [
+        cnet.detect_word(
+            test_packed,
+            good_test,
+            _stuck_open_injection(
+                cnet, fault, gates, good_init, good_test,
+                test_packed.mask,
+            ),
         )
-        words.append(
-            cnet.detect_word(
-                test_packed,
-                good_test,
-                FaultInjection(
-                    words={cnet.gate_output_index(fault.gate): forced}
-                ),
-            )
-        )
-    return words
+        for fault, gates in zip(faults, gate_lists)
+    ]
 
 
 def parallel_stuck_open_simulation(
     network: Network,
     faults: Sequence[StuckOpenFault],
-    pairs: Sequence[tuple[TestVector, TestVector]],
+    pairs,
     engine: str = "auto",
+    unroll: int | None = None,
+    initial_state: Mapping[str, int] | None = None,
 ) -> FaultSimResult:
     """Batched two-pattern stuck-open campaign with fault dropping."""
-    cnet = compile_network(network)
+    cnet, gate_lists, pairs = _stuck_open_problem(
+        network, faults, pairs, unroll, initial_state
+    )
     if _use_multiword(engine, len(faults), len(pairs)):
-        words = _multiword_stuck_open_words(cnet, faults, pairs)
+        words = _multiword_stuck_open_words(
+            cnet, faults, gate_lists, pairs
+        )
         return _result_from_words([f.name for f in faults], words)
     detected: dict[str, int] = {}
     undetected = {f.name for f in faults}
@@ -608,17 +845,15 @@ def parallel_stuck_open_simulation(
         test_packed = pack_vectors(cnet, [p[1] for p in chunk])
         good_init = cnet.simulate(init_packed)
         good_test = cnet.simulate(test_packed)
-        for fault in faults:
+        for fault, gates in zip(faults, gate_lists):
             if fault.name not in undetected:
                 continue
-            forced = _stuck_open_bad_words(
-                cnet, fault, good_init, good_test, test_packed.mask
-            )
             diff = cnet.detect_word(
                 test_packed,
                 good_test,
-                FaultInjection(
-                    words={cnet.gate_output_index(fault.gate): forced}
+                _stuck_open_injection(
+                    cnet, fault, gates, good_init, good_test,
+                    test_packed.mask,
                 ),
             )
             if diff:

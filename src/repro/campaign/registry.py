@@ -168,9 +168,13 @@ class Registry:
 
         The text is parsed once eagerly so malformed netlists fail at
         registration (not mid-campaign), then kept on the spec for
-        worker-side reconstruction.
+        worker-side reconstruction.  Netlists carrying flops get a
+        ``sequential`` tag, so campaign grids can select (or exclude)
+        the state-holding circuits without loading them.
         """
-        parse_bench(text, name=name)  # validate now, not in a worker
+        network = parse_bench(text, name=name)  # validate now, not in a worker
+        if network.is_sequential:
+            tags = frozenset(tags) | {"sequential"}
         return self.register(
             CircuitSpec(
                 name=name,

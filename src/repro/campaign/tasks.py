@@ -166,6 +166,12 @@ def run_stuck_open_task(network: Network, engine: str = "compiled") -> dict:
 #: chunks on every circuit, so the 2-D packing is always exercised.
 FAULT_SIM_VECTORS = 256
 
+#: Clock cycles per sequential test in :func:`run_fault_sim_task` —
+#: enough frames for state faults to reach the outputs on the
+#: ISCAS-89-class corpus circuits while the unrolled problem stays a
+#: small multiple of the combinational one.
+FAULT_SIM_FRAMES = 3
+
 
 def run_fault_sim_task(network: Network, engine: str = "auto") -> dict:
     """Scaling-tier cell: pure multi-word random fault simulation.
@@ -177,33 +183,59 @@ def run_fault_sim_task(network: Network, engine: str = "auto") -> dict:
     This is the only runner that stays single-digit seconds on the
     ≥1000-gate corpus circuits, and its metrics are bit-identical
     across processes and worker counts by construction.
+
+    Sequential circuits run through the same sweeps time-frame expanded
+    (:data:`FAULT_SIM_FRAMES` cycles per test, flops reset to 0): each
+    random test is a per-cycle input sequence and a fault counts as
+    detected when any frame's outputs differ.  The metrics dict then
+    carries ``n_frames`` / ``n_flops`` alongside the shared keys, so
+    combinational and sequential cells stay directly comparable.
     """
     import zlib
 
     from repro.atpg.fault_sim import polarity_detection_words
-    from repro.circuits.random_circuits import random_vectors
+    from repro.circuits.random_circuits import (
+        random_sequence_vectors,
+        random_vectors,
+    )
 
     seed = zlib.crc32(network.name.encode("utf-8"))
-    vectors = random_vectors(network, FAULT_SIM_VECTORS, seed=seed)
+    sequence_opts: dict = {}
+    metrics: dict = {}
+    if network.is_sequential:
+        vectors = random_sequence_vectors(
+            network, FAULT_SIM_VECTORS, FAULT_SIM_FRAMES, seed=seed
+        )
+        sequence_opts = dict(
+            unroll=FAULT_SIM_FRAMES,
+            initial_state={q: 0 for q in network.flops},
+        )
+        metrics = {
+            "n_frames": FAULT_SIM_FRAMES,
+            "n_flops": len(network.flops),
+        }
+    else:
+        vectors = random_vectors(network, FAULT_SIM_VECTORS, seed=seed)
     sa_faults = get_universe("stuck_at").collapse(network)
     sa = parallel_stuck_at_simulation(
-        network, sa_faults, vectors, engine=engine
+        network, sa_faults, vectors, engine=engine, **sequence_opts
     )
     po_faults = get_universe("polarity").collapse(network)
-    metrics = {
+    metrics.update({
         "n_vectors": len(vectors),
         "n_stuck_at_faults": len(sa_faults),
         "stuck_at_coverage": sa.coverage,
         "n_polarity_faults": len(po_faults),
         "polarity_voltage_coverage": None,
         "polarity_iddq_coverage": None,
-    }
+    })
     if po_faults:
         voltage = polarity_detection_words(
-            network, po_faults, vectors, engine=engine
+            network, po_faults, vectors, engine=engine, **sequence_opts
         )
         iddq = polarity_detection_words(
-            network, po_faults, vectors, iddq=True, engine=engine
+            network, po_faults, vectors, iddq=True, engine=engine,
+            **sequence_opts
         )
         metrics["polarity_voltage_coverage"] = sum(
             1 for w in voltage if w

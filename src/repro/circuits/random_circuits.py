@@ -1,14 +1,18 @@
-"""Seeded random combinational networks (fuzzing + scaling corpus).
+"""Seeded random networks, combinational and sequential (fuzzing +
+scaling corpus).
 
 Two consumers share this module:
 
-* the **differential fuzz suite** (``tests/test_multiword_engine.py``)
-  draws batches of small random circuits and checks the multi-word,
-  single-word and legacy dict engines produce bit-identical detection
-  matrices on every one, and
+* the **differential fuzz suites** (``tests/test_multiword_engine.py``
+  and ``tests/test_sequential_engine.py``) draw batches of small random
+  circuits — combinational via :func:`random_network`, sequential with
+  DFFs via :func:`random_sequential_network` — and check the
+  multi-word, single-word and legacy dict engines produce bit-identical
+  detection matrices on every one, and
 * the **ISCAS-class corpus generator** (``tools/gen_scaling_netlists.py``)
   materialises the thousands-of-gate ``.bench`` netlists checked into
-  ``benchmarks/netlists/`` for the scaling benchmark tier.
+  ``benchmarks/netlists/`` for the scaling benchmark tier — including
+  the ISCAS-89-style sequential circuits of :data:`SEQ_CORPUS_RECIPES`.
 
 Determinism is load-bearing in both roles: a seed must produce the
 same netlist on every Python version and platform, because the corpus
@@ -118,6 +122,63 @@ def random_network(
     return network
 
 
+def random_sequential_network(
+    seed: int,
+    n_gates: int = 40,
+    n_inputs: int = 6,
+    n_flops: int = 4,
+    dp_fraction: float = 0.25,
+    name: str | None = None,
+    window: int = 24,
+) -> Network:
+    """A seeded random sequential circuit with single-clock DFFs.
+
+    The flop outputs are available as sources from the start (state
+    nets feed the combinational cloud like extra inputs, as in the
+    ISCAS-89 netlists); each flop's data input is drawn from the late
+    nets after the cloud is built, so state feedback loops through real
+    logic.  Unconsumed nets become primary outputs, flop outputs
+    included — observable state keeps most faults detectable within a
+    few frames.  Determinism contract as :func:`random_network`.
+    """
+    if n_gates < 1 or n_inputs < 3 or n_flops < 1:
+        raise ValueError(
+            "need n_gates >= 1, n_inputs >= 3 and n_flops >= 1"
+        )
+    rng = random.Random(seed)
+    network = Network(
+        name or f"seqrand_s{seed}_g{n_gates}_f{n_flops}"
+    )
+    nets: list[str] = []
+    for k in range(n_inputs):
+        net = f"i{k}"
+        network.add_input(net)
+        nets.append(net)
+    state_nets = [f"q{k}" for k in range(n_flops)]
+    nets.extend(state_nets)  # usable as gate inputs before declaration
+    consumed: set[str] = set()
+    for g in range(n_gates):
+        pool = DP_POOL if rng.random() < dp_fraction else SP_POOL
+        gtype = pool[_randbelow(rng, len(pool))]
+        ins = _sample_inputs(rng, nets, GATE_ARITY[gtype], window)
+        out = f"n{g}"
+        network.add_gate(f"g{g}", gtype, ins, out)
+        consumed.update(ins)
+        nets.append(out)
+    # Data inputs: biased toward late (deep) nets, like _sample_inputs.
+    for q in state_nets:
+        data = _sample_inputs(rng, nets, 1, window)[0]
+        network.add_flop(q, data)
+        consumed.add(data)
+    outputs = [n for n in nets if n not in consumed]
+    if not outputs:
+        outputs = [nets[-1]]  # everything consumed: observe the last net
+    for net in outputs:
+        network.add_output(net)
+    network.validate()
+    return network
+
+
 #: Corpus recipes: name -> generator parameters.  Gate counts shadow
 #: the ISCAS-85 circuits the names allude to (c432 / c880 / c1908);
 #: the netlists themselves are synthetic — seeded draws from
@@ -132,15 +193,34 @@ CORPUS_RECIPES: Mapping[str, dict] = {
                     dp_fraction=0.10, window=48),
 }
 
+#: Sequential corpus recipes (ISCAS-89-class): gate counts shadow
+#: s344 / s1488 while PI and flop counts mirror the real circuits
+#: (s344: 9 PI / 15 FF, s1488: 8 PI / 6 FF).  The real s27 is checked
+#: in verbatim under ``benchmarks/netlists/`` rather than generated.
+SEQ_CORPUS_RECIPES: Mapping[str, dict] = {
+    "sqx344": dict(seed=344, n_gates=344, n_inputs=9, n_flops=15,
+                   dp_fraction=0.15, window=30),
+    "sqx1488": dict(seed=1488, n_gates=1488, n_inputs=8, n_flops=6,
+                    dp_fraction=0.10, window=48),
+}
+
 
 def build_corpus_network(name: str) -> Network:
-    """Regenerate one corpus circuit from its recipe (deterministic)."""
-    if name not in CORPUS_RECIPES:
-        raise KeyError(
-            f"unknown corpus circuit {name!r}; "
-            f"available: {sorted(CORPUS_RECIPES)}"
+    """Regenerate one corpus circuit from its recipe (deterministic).
+
+    Covers both the combinational (:data:`CORPUS_RECIPES`) and the
+    sequential (:data:`SEQ_CORPUS_RECIPES`) corpus.
+    """
+    if name in CORPUS_RECIPES:
+        return random_network(name=name, **CORPUS_RECIPES[name])
+    if name in SEQ_CORPUS_RECIPES:
+        return random_sequential_network(
+            name=name, **SEQ_CORPUS_RECIPES[name]
         )
-    return random_network(name=name, **CORPUS_RECIPES[name])
+    raise KeyError(
+        f"unknown corpus circuit {name!r}; available: "
+        f"{sorted(CORPUS_RECIPES) + sorted(SEQ_CORPUS_RECIPES)}"
+    )
 
 
 def random_vectors(
@@ -167,3 +247,34 @@ def random_vectors(
             vector[net] = 1 if rng.random() < 0.5 else 0
         vectors.append(vector)
     return vectors
+
+
+def random_sequence_vectors(
+    network: Network,
+    n: int,
+    frames: int,
+    seed: int,
+    x_fraction: float = 0.0,
+) -> list[list[dict[str, int]]]:
+    """``n`` seeded random sequential tests of ``frames`` cycles each.
+
+    A sequential test is a list of per-cycle primary-input assignments
+    (what ``unroll=`` entry points and
+    :func:`repro.logic.sequential.simulate_sequence` consume).  Same
+    determinism contract as :func:`random_vectors` — and the same draw
+    order per cycle, so a 1-frame sequence set equals the combinational
+    vector set for the same seed.
+    """
+    rng = random.Random(seed)
+    sequences: list[list[dict[str, int]]] = []
+    for _ in range(n):
+        cycles: list[dict[str, int]] = []
+        for _ in range(frames):
+            cycle: dict[str, int] = {}
+            for net in network.primary_inputs:
+                if x_fraction and rng.random() < x_fraction:
+                    continue
+                cycle[net] = 1 if rng.random() < 0.5 else 0
+            cycles.append(cycle)
+        sequences.append(cycles)
+    return sequences

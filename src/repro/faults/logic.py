@@ -84,9 +84,10 @@ def stuck_at_faults(network: Network, collapse: bool = True) -> list[StuckAtFaul
     for net in network.nets():
         for value in (0, 1):
             faults.append(StuckAtFault(net, value))
+    flop_data = _flop_data_counts(network)
     for gate in network.gates.values():
         for pin, net in enumerate(gate.inputs):
-            fanout = len(network.fanout_of(net))
+            fanout = len(network.fanout_of(net)) + flop_data.get(net, 0)
             is_po = net in network.primary_outputs
             if collapse and fanout <= 1 and not is_po:
                 continue  # branch == stem on fanout-free nets
@@ -103,9 +104,17 @@ def stuck_at_faults(network: Network, collapse: bool = True) -> list[StuckAtFaul
     return faults
 
 
+def _flop_data_counts(network: Network) -> dict[str, int]:
+    """Net -> number of flop data inputs it feeds (sequential fanout)."""
+    counts: dict[str, int] = {}
+    for data in network.flops.values():
+        counts[data] = counts.get(data, 0) + 1
+    return counts
+
+
 def _collapsible_buffer_input(network: Network, fault: StuckAtFault) -> bool:
     """Drop stem faults on BUF/INV inputs (equivalent to output faults),
-    unless the net is a primary output or has fanout."""
+    unless the net is a primary output or has fanout (gate or flop)."""
     if fault.is_branch:
         return False
     fanout = network.fanout_of(fault.net)
@@ -113,11 +122,17 @@ def _collapsible_buffer_input(network: Network, fault: StuckAtFault) -> bool:
         return False
     if fault.net in network.primary_outputs:
         return False
+    if fault.net in _flop_data_counts(network):
+        return False  # also latched: the stem fault reaches next state
     consumer = fanout[0]
     if consumer.gtype not in ("BUF", "INV"):
         return False
-    # Keep primary-input faults (they have no upstream representative).
-    return fault.net not in network.primary_inputs
+    # Keep primary-input and state-net faults (no upstream
+    # representative — a flop output is a pseudo input within a cycle).
+    return (
+        fault.net not in network.primary_inputs
+        and fault.net not in network.flops
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -46,7 +46,13 @@ from repro.logic.network import (
     GATE_ARITY,
     Gate,
     Network,
+    SequentialNetworkError,
     SP_GATE_TYPES,
+)
+from repro.logic.sequential import (
+    UnrolledNetwork,
+    simulate_sequence,
+    unroll_network,
 )
 from repro.logic.simulator import (
     exhaustive_truth_table,
@@ -102,7 +108,9 @@ __all__ = [
     "structural_fingerprint",
     "ONE",
     "SP_GATE_TYPES",
+    "SequentialNetworkError",
     "SwitchLevelResult",
+    "UnrolledNetwork",
     "X",
     "Z",
     "ZERO",
@@ -120,12 +128,14 @@ __all__ = [
     "parse_bench",
     "simulate",
     "simulate_outputs",
+    "simulate_sequence",
     "t_and",
     "t_not",
     "t_or",
     "t_xor",
     "ternary_name",
     "truth_table_switch_level",
+    "unroll_network",
     "vectors_differ",
     "write_bench",
 ]

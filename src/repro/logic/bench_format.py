@@ -12,9 +12,13 @@ Example::
 Gate names are auto-derived from output nets (``g_<net>``) on parsing;
 writing emits one line per gate in topological order.
 
-Only the combinational subset of the dialect is modelled: sequential
-primitives (``DFF`` and friends — common in the larger ISCAS-89
-netlists) and gate types outside the CP cell library raise
+Sequential netlists in the ISCAS-89 style are supported through the
+single-clock D flip-flop primitive: ``q = DFF(d)`` lines parse into
+:meth:`Network.add_flop <repro.logic.network.Network.add_flop>` entries
+and round-trip through :func:`write_bench` (flop lines are emitted in
+parse order, right after the IO declarations, so a parse→write→parse
+cycle is a fixed point).  Other state-holding primitives (``DLATCH``,
+``SDFF`` …) and gate types outside the CP cell library raise
 :class:`UnsupportedBenchFeature` with the offending line number, so a
 corpus ingest failure points at the exact netlist line instead of
 surfacing as a bare ``KeyError``/``ValueError`` from deeper layers.
@@ -50,18 +54,22 @@ _TYPE_ALIASES = {
 
 
 class UnsupportedBenchFeature(ValueError):
-    """A .bench line uses a feature outside the combinational subset.
+    """A .bench line uses a feature outside the modelled subset.
 
-    Raised with the offending line number for sequential primitives
-    (``DFF`` etc.) and unknown gate types.
+    Raised with the offending line number for unsupported state-holding
+    primitives (``DLATCH`` etc. — plain ``DFF`` is supported) and
+    unknown gate types.
     """
 
 
-#: Sequential / state-holding primitive names seen in the wild
-#: (ISCAS-89 and derivatives).  Recognised so the error says
-#: "sequential" instead of "unknown".
-_SEQUENTIAL_TYPES = frozenset({
-    "DFF", "SDFF", "DFFSR", "DFFRS", "DLATCH", "LATCH", "FF", "SFF",
+#: The supported sequential primitive: single-clock edge-triggered DFF.
+_FLOP_TYPE = "DFF"
+
+#: Other sequential / state-holding primitive names seen in the wild
+#: (ISCAS-89 derivatives).  Recognised so the error says "sequential"
+#: instead of "unknown".
+_UNSUPPORTED_SEQUENTIAL_TYPES = frozenset({
+    "SDFF", "DFFSR", "DFFRS", "DLATCH", "LATCH", "FF", "SFF",
 })
 
 
@@ -76,10 +84,10 @@ def _canonical_type(raw: str, n_args: int, lineno: int = 0) -> str:
         return candidate
     if gtype in _TYPE_ALIASES:
         return _TYPE_ALIASES[gtype]
-    if gtype in _SEQUENTIAL_TYPES:
+    if gtype in _UNSUPPORTED_SEQUENTIAL_TYPES:
         raise UnsupportedBenchFeature(
             f"line {lineno}: sequential element {raw!r} is not "
-            f"supported (only combinational netlists are modelled)"
+            f"supported (only single-clock DFF flops are modelled)"
         )
     raise UnsupportedBenchFeature(
         f"line {lineno}: unknown gate type {raw!r}; "
@@ -91,6 +99,7 @@ def parse_bench(text: str, name: str = "") -> Network:
     """Parse a .bench-style netlist into a :class:`Network`."""
     network = Network(name)
     pending_gates: list[tuple[str, str, list[str]]] = []
+    pending_flops: list[tuple[str, str]] = []
     for lineno, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.split("#", 1)[0].strip()
         if not line:
@@ -110,12 +119,23 @@ def parse_bench(text: str, name: str = "") -> Network:
                 for a in gate_match.group("args").split(",")
                 if a.strip()
             ]
+            if gate_match.group("type").upper() == _FLOP_TYPE:
+                if len(args) != 1:
+                    raise UnsupportedBenchFeature(
+                        f"line {lineno}: DFF takes exactly one data "
+                        f"input, got {len(args)} (set/reset/enable "
+                        f"pins are not modelled)"
+                    )
+                pending_flops.append((out, args[0]))
+                continue
             gtype = _canonical_type(
                 gate_match.group("type"), len(args), lineno
             )
             pending_gates.append((out, gtype, args))
             continue
         raise ValueError(f"line {lineno}: cannot parse {raw_line!r}")
+    for out, data in pending_flops:
+        network.add_flop(out, data)
     for out, gtype, args in pending_gates:
         network.add_gate(f"g_{out}", gtype, args, out)
     network.validate()
@@ -129,6 +149,8 @@ def write_bench(network: Network) -> str:
         lines.append(f"INPUT({net})")
     for net in network.primary_outputs:
         lines.append(f"OUTPUT({net})")
+    for output, data in network.flops.items():
+        lines.append(f"{output} = DFF({data})")
     for gate in network.levelized():
         args = ", ".join(gate.inputs)
         lines.append(f"{gate.output} = {gate.gtype}({args})")

@@ -878,6 +878,7 @@ def structural_fingerprint(network: Network) -> tuple:
             (g.name, g.gtype, g.inputs, g.output)
             for g in network.gates.values()
         )),
+        tuple(network.flops.items()),
     )
 
 
@@ -892,6 +893,14 @@ def compile_network(network: Network) -> CompiledNetwork:
     cnet = network._compiled
     if cnet is not None:
         return cnet
+    if network.flops:
+        from repro.logic.network import SequentialNetworkError
+
+        raise SequentialNetworkError(
+            f"{network.name!r} is sequential ({len(network.flops)} "
+            f"flops); time-frame expand it first: "
+            f"repro.logic.sequential.unroll_network(network, n_frames)"
+        )
     key = structural_fingerprint(network)
     cnet = _COMPILE_MEMO.get(key)
     if cnet is None:

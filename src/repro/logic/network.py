@@ -1,4 +1,4 @@
-"""Gate-level combinational networks.
+"""Gate-level networks (combinational core plus D flip-flops).
 
 A :class:`Network` is a DAG of library gates over named nets, with
 primary inputs and outputs.  Gate types map 1:1 onto the transistor-level
@@ -6,6 +6,15 @@ cells of :mod:`repro.gates.library` (plus ``BUF``, and the AND/OR
 conveniences which map to NAND/NOR followed by an inverter on silicon).
 The ATPG engine (:mod:`repro.atpg`) runs on these networks; the
 :mod:`repro.logic.bench_format` module reads/writes them as text.
+
+Sequential circuits are modelled with edge-triggered D flip-flops
+(:meth:`Network.add_flop`): a flop's output net behaves like a primary
+input within one clock cycle, and the value on its data net is latched
+at the cycle boundary.  The combinational engines never see flops —
+:mod:`repro.logic.sequential` time-frame expands a sequential network
+into a plain combinational one first, and :func:`compile_network
+<repro.logic.compiled.compile_network>` raises
+:class:`SequentialNetworkError` if handed an un-expanded one.
 """
 
 from __future__ import annotations
@@ -40,6 +49,15 @@ SP_GATE_TYPES = frozenset(
 )
 
 
+class SequentialNetworkError(ValueError):
+    """A sequential network reached a combinational-only code path.
+
+    Raised by :func:`repro.logic.compiled.compile_network` (and the
+    serial simulator) when handed a network with flip-flops: time-frame
+    expand it first via :func:`repro.logic.sequential.unroll_network`.
+    """
+
+
 @dataclasses.dataclass(frozen=True)
 class Gate:
     """One gate instance.
@@ -71,13 +89,15 @@ class Gate:
 
 
 class Network:
-    """A combinational gate-level network."""
+    """A gate-level network (combinational, or sequential with DFFs)."""
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.primary_inputs: list[str] = []
         self.primary_outputs: list[str] = []
         self.gates: dict[str, Gate] = {}
+        #: Flop output net -> flop data net, in insertion order.
+        self.flops: dict[str, str] = {}
         self._driver: dict[str, str] = {}  # net -> gate name
         self._levelized: list[Gate] | None = None
         self._compiled = None
@@ -88,6 +108,8 @@ class Network:
             raise ValueError(f"duplicate primary input {net!r}")
         if net in self._driver:
             raise ValueError(f"net {net!r} already driven by a gate")
+        if net in self.flops:
+            raise ValueError(f"net {net!r} already driven by a flop")
         self.primary_inputs.append(net)
         self._levelized = None
         self._compiled = None
@@ -109,12 +131,36 @@ class Network:
             raise ValueError(f"net {output!r} already driven")
         if output in self.primary_inputs:
             raise ValueError(f"net {output!r} is a primary input")
+        if output in self.flops:
+            raise ValueError(f"net {output!r} already driven by a flop")
         gate = Gate(name, gtype.upper(), tuple(inputs), output)
         self.gates[name] = gate
         self._driver[output] = name
         self._levelized = None
         self._compiled = None
         return gate
+
+    def add_flop(self, output: str, data: str) -> None:
+        """Add a D flip-flop driving ``output`` from ``data``.
+
+        Within a cycle the flop output is a state net (treated like a
+        pseudo primary input); at the cycle boundary it latches the
+        value on ``data``.  Clock/reset are implicit (single global
+        clock, as in the ISCAS-89 ``q = DFF(d)`` convention).
+        """
+        if output in self.flops:
+            raise ValueError(f"duplicate flop output {output!r}")
+        if output in self._driver:
+            raise ValueError(f"net {output!r} already driven by a gate")
+        if output in self.primary_inputs:
+            raise ValueError(f"net {output!r} is a primary input")
+        self.flops[output] = data
+        self._levelized = None
+        self._compiled = None
+
+    @property
+    def is_sequential(self) -> bool:
+        return bool(self.flops)
 
     # ------------------------------------------------------------------
     def driver_of(self, net: str) -> Gate | None:
@@ -131,27 +177,48 @@ class Network:
         for g in self.gates.values():
             found.update(g.inputs)
             found.add(g.output)
+        for output, data in self.flops.items():
+            found.add(output)
+            found.add(data)
         return sorted(found)
+
+    def _driven(self, net: str) -> bool:
+        return (
+            net in self.primary_inputs
+            or net in self._driver
+            or net in self.flops
+        )
 
     def validate(self) -> None:
         """Check structural sanity: drivers exist, no loops."""
         for g in self.gates.values():
             for net in g.inputs:
-                if net not in self.primary_inputs and net not in self._driver:
+                if not self._driven(net):
                     raise ValueError(
                         f"gate {g.name}: input net {net!r} has no driver"
                     )
+        for output, data in self.flops.items():
+            if not self._driven(data):
+                raise ValueError(
+                    f"flop {output!r}: data net {data!r} has no driver"
+                )
         for net in self.primary_outputs:
-            if net not in self._driver and net not in self.primary_inputs:
+            if not self._driven(net):
                 raise ValueError(f"primary output {net!r} has no driver")
         self.levelized()  # raises on combinational loops
 
     def levelized(self) -> list[Gate]:
-        """Gates in topological order (cached)."""
+        """Gates in topological order (cached).
+
+        Flop outputs count as placed from the start — within one clock
+        cycle they are state inputs, so feedback through a flop is not
+        a combinational loop.
+        """
         if self._levelized is not None:
             return self._levelized
         order: list[Gate] = []
         placed: set[str] = set(self.primary_inputs)
+        placed.update(self.flops)
         remaining = dict(self.gates)
         while remaining:
             ready = [
@@ -198,8 +265,9 @@ class Network:
         invalidate_network(self)
 
     def depth(self) -> int:
-        """Logic depth (levels of gates on the longest path)."""
+        """Logic depth (levels of gates on the longest path per cycle)."""
         level: dict[str, int] = {n: 0 for n in self.primary_inputs}
+        level.update({n: 0 for n in self.flops})
         depth = 0
         for g in self.levelized():
             lvl = 1 + max((level.get(n, 0) for n in g.inputs), default=0)
@@ -212,16 +280,21 @@ class Network:
         by_type: dict[str, int] = {}
         for g in self.gates.values():
             by_type[g.gtype] = by_type.get(g.gtype, 0) + 1
-        return {
+        stats = {
             "gates": len(self.gates),
             "inputs": len(self.primary_inputs),
             "outputs": len(self.primary_outputs),
             "depth": self.depth(),
             **{f"n_{t.lower()}": c for t, c in sorted(by_type.items())},
         }
+        if self.flops:
+            stats["flops"] = len(self.flops)
+        return stats
 
     def __repr__(self) -> str:
+        flops = f", {len(self.flops)} FF" if self.flops else ""
         return (
             f"Network({self.name!r}: {len(self.primary_inputs)} PI, "
-            f"{len(self.primary_outputs)} PO, {len(self.gates)} gates)"
+            f"{len(self.primary_outputs)} PO, {len(self.gates)} gates"
+            f"{flops})"
         )

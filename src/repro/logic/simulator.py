@@ -37,6 +37,14 @@ def simulate(
         pin_overrides: Forced values on individual gate input pins,
             keyed by ``(gate_name, pin_index)`` (branch stuck-at faults).
     """
+    if network.flops:
+        from repro.logic.network import SequentialNetworkError
+
+        raise SequentialNetworkError(
+            f"{network.name!r} is sequential; time-frame expand it "
+            f"first (repro.logic.sequential.unroll_network) or "
+            f"simulate the unrolled form"
+        )
     gate_overrides = gate_overrides or {}
     line_overrides = line_overrides or {}
     pin_overrides = pin_overrides or {}

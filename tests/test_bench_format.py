@@ -1,17 +1,22 @@
 """Tests for the .bench dialect: error reporting and round-trip at scale.
 
-Two concerns live here:
+Three concerns live here:
 
-* **Clear failures on unsupported features** — sequential primitives
-  (``DFF`` and friends) and unknown gate types must raise
+* **Clear failures on unsupported features** — state-holding primitives
+  outside the plain ``DFF`` (``DLATCH`` and friends) and unknown gate
+  types must raise
   :class:`~repro.logic.bench_format.UnsupportedBenchFeature` carrying
   the offending line number, never a bare ``KeyError``/``ValueError``
   from deeper layers.
+* **Sequential round-trip** — ``q = DFF(d)`` lines parse into flops and
+  re-emit with stable naming, so parse → write → parse is a fixed point
+  on ISCAS-89-class netlists too.
 * **Round-trip fidelity at corpus scale** — parse → compile → re-emit
   → re-parse must be a structural fixed point on every ISCAS-class
-  corpus netlist, and the ≥1000-gate golden fault census must stay
-  bit-identical (any drift in parsing, collapsing or enumeration shows
-  up as a diff against ``tests/golden/faults_census_cpx1908.txt``).
+  corpus netlist, and the golden fault censuses must stay bit-identical
+  (any drift in parsing, collapsing or enumeration shows up as a diff
+  against ``tests/golden/faults_census_cpx1908.txt`` /
+  ``tests/golden/faults_census_s27.txt``).
 """
 
 import pathlib
@@ -36,7 +41,7 @@ OUTPUT(y)
 
 class TestUnsupportedFeatures:
     @pytest.mark.parametrize(
-        "gtype", ["DFF", "SDFF", "DFFSR", "DLATCH", "LATCH"]
+        "gtype", ["SDFF", "DFFSR", "DLATCH", "LATCH"]
     )
     def test_sequential_primitive_raises_with_lineno(self, gtype):
         text = VALID_PREFIX + f"q = {gtype}(a)\ny = NAND2(q, b)\n"
@@ -46,6 +51,14 @@ class TestUnsupportedFeatures:
         assert "line 4" in message
         assert "sequential" in message
         assert gtype in message
+
+    def test_dff_with_extra_pins_raises_with_lineno(self):
+        text = VALID_PREFIX + "q = DFF(a, b)\ny = NAND2(q, b)\n"
+        with pytest.raises(UnsupportedBenchFeature) as exc:
+            parse_bench(text)
+        message = str(exc.value)
+        assert "line 4" in message
+        assert "exactly one data input" in message
 
     def test_unknown_gate_type_raises_with_lineno(self):
         text = VALID_PREFIX + "y = FROB(a, b)\n"
@@ -57,7 +70,7 @@ class TestUnsupportedFeatures:
         assert "supported types" in message
 
     def test_lineno_counts_comments_and_blanks(self):
-        text = "# header\n\n" + VALID_PREFIX + "\n# note\ny = DFF(a)\n"
+        text = "# header\n\n" + VALID_PREFIX + "\n# note\ny = DLATCH(a)\n"
         with pytest.raises(UnsupportedBenchFeature, match="line 8"):
             parse_bench(text)
 
@@ -66,7 +79,7 @@ class TestUnsupportedFeatures:
         # registry's eager validation) keep working unchanged.
         assert issubclass(UnsupportedBenchFeature, ValueError)
         with pytest.raises(ValueError):
-            parse_bench(VALID_PREFIX + "y = DFF(a)\n")
+            parse_bench(VALID_PREFIX + "y = DLATCH(a)\n")
 
     def test_unparseable_line_still_plain_valueerror(self):
         with pytest.raises(ValueError, match="line 4"):
@@ -75,6 +88,48 @@ class TestUnsupportedFeatures:
     def test_valid_netlist_unaffected(self):
         network = parse_bench(VALID_PREFIX + "y = NAND2(a, b)\n")
         assert network.stats()["gates"] == 1
+
+
+SEQ_TEXT = VALID_PREFIX + """\
+q1 = DFF(n1)
+q2 = DFF(q1)
+n1 = NAND2(a, q2)
+y = NOR2(n1, b)
+"""
+
+
+class TestSequentialRoundTrip:
+    def test_dff_lines_parse_into_flops(self):
+        network = parse_bench(SEQ_TEXT, name="seq")
+        assert network.is_sequential
+        assert network.flops == {"q1": "n1", "q2": "q1"}
+        assert network.stats()["flops"] == 2
+        assert network.stats()["gates"] == 2
+
+    def test_write_emits_dff_lines_in_parse_order(self):
+        emitted = write_bench(parse_bench(SEQ_TEXT, name="seq"))
+        lines = emitted.splitlines()
+        assert "q1 = DFF(n1)" in lines
+        assert "q2 = DFF(q1)" in lines
+        assert lines.index("q1 = DFF(n1)") < lines.index("q2 = DFF(q1)")
+
+    def test_parse_write_parse_is_fixed_point(self):
+        from repro.logic.compiled import structural_fingerprint
+
+        first = parse_bench(SEQ_TEXT, name="seq")
+        emitted = write_bench(first)
+        second = parse_bench(emitted, name="seq")
+        assert structural_fingerprint(first) == structural_fingerprint(
+            second
+        )
+        assert write_bench(second) == emitted
+
+    def test_flop_output_cannot_be_redriven(self):
+        with pytest.raises(ValueError, match="driven"):
+            parse_bench(
+                VALID_PREFIX + "q = DFF(a)\nq = NAND2(a, b)\n"
+                "y = BUF(q)\n"
+            )
 
 
 class TestRoundTripAtScale:
@@ -100,11 +155,14 @@ class TestRoundTripAtScale:
     )
     def test_compiles_after_roundtrip(self, path):
         from repro.logic.compiled import compile_network
+        from repro.logic.sequential import unroll_network
 
         network = parse_bench(
             write_bench(parse_bench(path.read_text(), name=path.stem)),
             name=path.stem,
         )
+        if network.is_sequential:
+            network = unroll_network(network, 2).network
         cnet = compile_network(network)
         assert cnet.n_nets > 1000 or path.stem != "cpx1908"
 
@@ -123,3 +181,15 @@ class TestGoldenCensus:
             / "golden" / "faults_census_cpx1908.txt"
         ).read_text()
         assert format_census("cpx1908") + "\n" == golden
+
+    def test_s27_census_matches_golden(self):
+        """Sequential census gate: fault sites are enumerated on the
+        sequential netlist itself (flop nets included, no unrolling) —
+        drift in the flop-aware collapse rules shows up here."""
+        from repro.faults.cli import format_census
+
+        golden = (
+            pathlib.Path(__file__).parent
+            / "golden" / "faults_census_s27.txt"
+        ).read_text()
+        assert format_census("s27") + "\n" == golden

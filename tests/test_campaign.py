@@ -267,6 +267,66 @@ class TestMultiwordResume:
         assert grid[0].bench_text is not None
 
 
+class TestSequentialResume:
+    """Kill/restart determinism for sequential (DFF) campaign cells.
+
+    ``fault_sim`` on a sequential corpus circuit time-frame expands the
+    netlist and simulates per-cycle input sequences; the resulting
+    store must carry the same bit-identical guarantees as the
+    combinational cells — resume after a torn-tail kill and any worker
+    count reproduce the reference records exactly.
+    """
+
+    GRID = (("s27", "sqx344"), ("fault_sim",))
+
+    @pytest.fixture(scope="class")
+    def seq_reference(self):
+        grid = expand_grid(*self.GRID, engine="auto")
+        result = run_campaign(grid)
+        assert all(r["status"] == "ok" for r in result.records)
+        by_circuit = {r["circuit"]: r["metrics"] for r in result.records}
+        # Sequential cells report their unrolling alongside the shared
+        # metrics; sqx344 is big enough for the multi-word engine.
+        assert by_circuit["s27"]["n_frames"] == 3
+        assert by_circuit["s27"]["n_flops"] == 3
+        assert by_circuit["sqx344"]["n_stuck_at_faults"] > 1000
+        return result.records
+
+    def test_kill_and_resume_bit_identical(self, tmp_path, seq_reference):
+        grid = expand_grid(*self.GRID, engine="auto")
+        store_path = tmp_path / "seq.jsonl"
+        lines = [json.dumps(r, sort_keys=True) for r in seq_reference]
+        # Kill signature: first record intact, second torn mid-write.
+        store_path.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        result = run_campaign(grid, store=store_path)
+        assert result.n_skipped == 1
+        assert result.n_run == 1
+        final = list(ResultStore(store_path).latest().values())
+        assert stores_equal(final, seq_reference)
+
+    def test_worker_count_invariant(self, tmp_path, seq_reference):
+        grid = expand_grid(*self.GRID, engine="auto")
+        parallel = run_campaign(
+            grid, store=tmp_path / "seq2.jsonl", workers=2
+        )
+        assert stores_equal(parallel.records, seq_reference)
+        stored = ResultStore(tmp_path / "seq2.jsonl").load()
+        assert stores_equal(stored, seq_reference)
+
+    def test_s27_fault_sim_full_stuck_at_coverage(self):
+        # 256 random 3-cycle sequences from reset detect every
+        # collapsed stuck-at fault of the real s27.
+        metrics = run_fault_class(
+            get_registry().load("s27"), "fault_sim", engine="auto"
+        )
+        assert metrics["stuck_at_coverage"] == 1.0
+        assert metrics["n_frames"] == 3
+
+    def test_sequential_tag_selects_corpus(self):
+        names = get_registry().names(tags={"sequential"})
+        assert {"s27", "sqx344", "sqx1488"} <= set(names)
+
+
 class TestRunnerFailureModes:
     def test_task_error_becomes_record_not_crash(self):
         def boom(_network, _engine):

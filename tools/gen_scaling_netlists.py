@@ -1,13 +1,17 @@
 #!/usr/bin/env python
 """Materialise the ISCAS-class scaling corpus into benchmarks/netlists/.
 
-The corpus circuits (cpx432 / cpx880 / cpx1908) are synthetic seeded
-networks at ISCAS-85 gate-count scale, defined once by
-:data:`repro.circuits.random_circuits.CORPUS_RECIPES`.  This tool
+The corpus circuits are synthetic seeded networks at ISCAS gate-count
+scale: combinational (cpx432 / cpx880 / cpx1908, ISCAS-85-class,
+:data:`repro.circuits.random_circuits.CORPUS_RECIPES`) and sequential
+with DFFs (sqx344 / sqx1488, ISCAS-89-class,
+:data:`repro.circuits.random_circuits.SEQ_CORPUS_RECIPES`).  This tool
 regenerates the ``.bench`` files from those recipes; the files are
-checked in, and ``tests/test_multiword_engine.py`` asserts that
-regeneration reproduces the checked-in text bit-for-bit (provenance:
-the netlists on disk are exactly what the recipes say they are).
+checked in, and the test suites assert that regeneration reproduces
+the checked-in text bit-for-bit (provenance: the netlists on disk are
+exactly what the recipes say they are).  The real ISCAS-89 s27 netlist
+also lives in ``benchmarks/netlists/`` but is checked in verbatim, not
+generated — this tool leaves it alone.
 
 Usage::
 
@@ -28,6 +32,7 @@ sys.path.insert(0, str(REPO / "src"))
 
 from repro.circuits.random_circuits import (  # noqa: E402
     CORPUS_RECIPES,
+    SEQ_CORPUS_RECIPES,
     build_corpus_network,
 )
 from repro.logic.bench_format import write_bench  # noqa: E402
@@ -39,7 +44,7 @@ def corpus_texts() -> dict[str, str]:
     """name -> .bench text for every corpus recipe (deterministic)."""
     return {
         name: write_bench(build_corpus_network(name))
-        for name in CORPUS_RECIPES
+        for name in (*CORPUS_RECIPES, *SEQ_CORPUS_RECIPES)
     }
 
 
