@@ -1,0 +1,207 @@
+"""JSONL vs sqlite campaign-store backends: write/scan/verify throughput.
+
+Runs the full claim-and-commit write path of both ``ResultBackend``
+implementations on one synthetic campaign (register the task table,
+claim each task, append its result record), then times a cold
+``latest()`` scan and a full ``verify()`` integrity audit (checksum
+recomputation on sqlite, torn-tail scan on JSONL), asserting
+
+* both backends round-trip the records bit-identically after
+  ``strip_volatile`` (the cross-backend determinism contract), and
+* both verify clean (no corrupt, quarantined or stale rows),
+
+then writes a machine-readable perf record to ``BENCH_store.json`` at
+the repository root.  There is no cross-backend speed bar: the sqlite
+backend buys atomic multi-runner claiming and per-row checksums with a
+transaction per append, so the interesting artefact is the measured
+price of those guarantees, not a winner.
+
+Dual-mode: run under pytest (``pytest benchmarks/bench_store_backends.py``)
+or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_store_backends.py [--smoke]
+
+``--smoke`` shrinks the synthetic campaign so the bench finishes in
+about a second on a shared runner.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import save_report
+from repro.analysis.report import ascii_table
+from repro.campaign.backends import BACKENDS, open_store
+from repro.campaign.store import strip_volatile
+
+N_RECORDS = 2000
+N_RECORDS_SMOKE = 300
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+_STORE_SUFFIX = {"jsonl": ".jsonl", "sqlite": ".sqlite"}
+
+
+def synth_records(n):
+    """A deterministic synthetic campaign: n tasks, one record each."""
+    records = []
+    for i in range(n):
+        task_id = f"bench{i:05d}/fault_sim/auto"
+        records.append({
+            "schema": 2,
+            "task_id": task_id,
+            "circuit": task_id.split("/")[0],
+            "fault_class": "fault_sim",
+            "engine_used": "auto",
+            "status": "ok",
+            "attempt": 1,
+            "runtime_s": 0.0,
+            "metrics": {
+                "n_faults": 100 + i,
+                "coverage": (i % 97) / 97.0,
+                "note": "synthetic store-throughput row, μ-fault free",
+            },
+        })
+    return records
+
+
+def bench_backend(backend, records, tmp_dir):
+    """Time write / scan / verify on one backend; return a record."""
+    path = Path(tmp_dir) / f"bench_{backend}{_STORE_SUFFIX[backend]}"
+    task_ids = [r["task_id"] for r in records]
+
+    t0 = time.perf_counter()
+    with open_store(path, backend) as store:
+        store.register(task_ids)
+        for record in records:
+            store.claim(record["task_id"])
+            store.append(record)
+        store.release()
+    write_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with open_store(path, backend) as store:
+        latest = store.latest()
+    scan_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with open_store(path, backend) as store:
+        report = store.verify()
+    verify_s = time.perf_counter() - t0
+
+    assert report["ok"], f"{backend}: dirty verify on a healthy store"
+    assert len(latest) == len(records), backend
+    store_bytes = path.stat().st_size
+    if backend == "sqlite":
+        for sidecar in path.parent.glob(path.name + "-*"):
+            store_bytes += sidecar.stat().st_size
+    return {
+        "backend": backend,
+        "n_records": len(records),
+        "write_s": write_s,
+        "writes_per_s": len(records) / write_s,
+        "scan_s": scan_s,
+        "verify_s": verify_s,
+        "store_bytes": store_bytes,
+    }, latest
+
+
+def run_backends(n=N_RECORDS):
+    """Bench every registered backend on one synthetic campaign."""
+    records = synth_records(n)
+    results, latests = [], {}
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        for backend in sorted(BACKENDS):
+            result, latest = bench_backend(backend, records, tmp_dir)
+            results.append(result)
+            latests[backend] = latest
+
+    def canonical(latest):
+        return strip_volatile(
+            latest[tid] for tid in sorted(latest)
+        )
+
+    reference = canonical(latests[results[0]["backend"]])
+    for result in results[1:]:
+        assert canonical(latests[result["backend"]]) == reference, (
+            f"{result['backend']} round-trip diverges from "
+            f"{results[0]['backend']}"
+        )
+    return results
+
+
+def format_report(results):
+    rows = [
+        (
+            r["backend"], r["n_records"],
+            f"{r['writes_per_s']:.0f}",
+            f"{r['write_s'] * 1e3:.1f}",
+            f"{r['scan_s'] * 1e3:.1f}",
+            f"{r['verify_s'] * 1e3:.1f}",
+            f"{r['store_bytes'] / 1024:.0f}",
+        )
+        for r in results
+    ]
+    return "\n".join([
+        "Campaign store backends: claim-and-commit write path, cold scan,"
+        " integrity audit",
+        ascii_table(
+            ("backend", "records", "writes/s", "write ms", "scan ms",
+             "verify ms", "KiB"),
+            rows,
+        ),
+        "",
+        "One synthetic campaign through both ResultBackend",
+        "implementations: register + claim + append per task (the",
+        "runner's hot path), latest() on a freshly opened store, and",
+        "the verify() audit (per-row CRC-32 recomputation on sqlite,",
+        "torn-tail scan on JSONL).  Both stores round-trip",
+        "strip_volatile-identical records and verify clean.",
+    ])
+
+
+def write_record(results, path=RECORD_PATH):
+    record = {
+        "benchmark": "store_backends",
+        "schema_version": 1,
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "python": sys.version.split()[0],
+        "workload": "register + claim + append per task, cold latest() "
+                    "scan, full verify() audit, per backend",
+        "records": results,
+    }
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+def test_store_backends(once):
+    results = run_backends()
+    report = format_report(results)
+    print("\n" + report)
+    save_report("store_backends", report)
+    write_record(results)
+    once(lambda: run_backends(n=N_RECORDS_SMOKE))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"shrink the campaign to {N_RECORDS_SMOKE} records",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=RECORD_PATH,
+        help="perf-record path (default: repo-root BENCH_store.json)",
+    )
+    args = parser.parse_args(argv)
+    results = run_backends(N_RECORDS_SMOKE if args.smoke else N_RECORDS)
+    print(format_report(results))
+    path = write_record(results, args.out)
+    print(f"\nperf record -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,10 @@
 The layer above the per-circuit engines: a benchmark registry
 (:mod:`~repro.campaign.registry`), deterministic fault-class tasks
 (:mod:`~repro.campaign.tasks`), a fault-tolerant grid runner with
-JSONL checkpointing (:mod:`~repro.campaign.runner` /
-:mod:`~repro.campaign.store`) over a supervised worker-process layer
+pluggable crash-safe checkpoint stores — single-writer JSONL or
+multi-runner sqlite with atomic task claims
+(:mod:`~repro.campaign.runner` / :mod:`~repro.campaign.store` /
+:mod:`~repro.campaign.backends`) — over a supervised worker-process layer
 with watchdog kills, crash respawn, retry/backoff and poison-task
 quarantine (:mod:`~repro.campaign.supervisor`, chaos-tested via
 :mod:`~repro.campaign.chaos`), report rendering from stored records
@@ -20,6 +22,14 @@ Programmatic quickstart::
     print(render_report(result.records))
 """
 
+from repro.campaign.backends import (
+    JsonlBackend,
+    ResultBackend,
+    SqliteBackend,
+    detect_backend,
+    migrate_jsonl_to_sqlite,
+    open_store,
+)
 from repro.campaign.registry import CircuitSpec, Registry, get_registry
 from repro.campaign.runner import (
     FALLBACK_CHAINS,
@@ -55,18 +65,24 @@ __all__ = [
     "CircuitSpec",
     "DEFAULT_FAULT_CLASSES",
     "FALLBACK_CHAINS",
+    "JsonlBackend",
     "Registry",
+    "ResultBackend",
     "ResultStore",
     "RetryPolicy",
+    "SqliteBackend",
     "StoreLockedError",
     "TASK_RUNNERS",
     "TaskSpec",
     "TransientTaskError",
     "coverage_table",
+    "detect_backend",
     "escape_table",
     "execute_task",
     "expand_grid",
     "get_registry",
+    "migrate_jsonl_to_sqlite",
+    "open_store",
     "render_report",
     "run_campaign",
     "run_fault_class",

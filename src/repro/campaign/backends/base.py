@@ -1,0 +1,82 @@
+"""The :class:`ResultBackend` protocol: what a campaign store provides.
+
+The runner (:mod:`repro.campaign.runner`) talks to storage exclusively
+through these verbs, so a store is pluggable — today JSONL
+(:class:`~repro.campaign.backends.jsonl.JsonlBackend`, single writer
+behind an advisory lock) and sqlite
+(:class:`~repro.campaign.backends.sqlite.SqliteBackend`, multi-runner
+with atomic task claims).  The verbs:
+
+``open``
+    Recover the store to a consistent state: journal recovery, torn /
+    corrupt-row detection (quarantine + task re-queue) and stale-claim
+    reclamation all happen here, so a crashed campaign's store is
+    usable the moment it is opened again.
+``register`` / ``claim`` / ``release``
+    The multi-runner coordination surface.  ``register`` makes task
+    rows exist (idempotent), ``claim`` atomically takes ownership of a
+    *pending* task — exactly one of N concurrent runners wins — and
+    ``release`` hands back claims a campaign will not finish.
+    Backends without real claiming (JSONL) make ``claim`` vacuously
+    true and coordinate by locking out the second writer entirely.
+``append``
+    Persist one finished record and mark its task done, atomically
+    where the substrate allows; stamps the ``backend`` /
+    ``store_schema`` provenance fields.  Transient I/O failures
+    (out-of-space, lock contention) are retried with bounded backoff
+    inside the backend.
+``load`` / ``latest``
+    The scan verbs: every record in commit order / the newest record
+    per task id (what resume and the report renderer consume).
+``heal``
+    On-demand salvage (re-run the recovery ``open`` performs).
+``verify``
+    Integrity report — record/checksum/claim/quarantine census — as a
+    flat dict; ``repair=True`` additionally quarantines and re-queues
+    what it finds (``repro campaign verify-store`` renders this).
+
+The protocol is structural (:class:`typing.Protocol`): backends do not
+inherit from it, they just provide the surface, and
+``isinstance(obj, ResultBackend)`` checks membership at runtime.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class ResultBackend(Protocol):
+    """Structural protocol for campaign result stores."""
+
+    #: Registry name of the backend (``"jsonl"`` / ``"sqlite"``) —
+    #: also the value stamped into each record's ``backend`` field.
+    name: str
+    #: Storage-layout schema version the backend writes (stamped into
+    #: each record's ``store_schema`` field).
+    STORE_SCHEMA: int
+    #: Whether :meth:`claim` actually arbitrates between runners.
+    supports_claiming: bool
+    #: Where the store lives on disk.
+    path: Path
+
+    def open(self) -> "ResultBackend": ...
+
+    def close(self) -> None: ...
+
+    def append(self, record: dict) -> None: ...
+
+    def load(self) -> list[dict]: ...
+
+    def latest(self) -> dict[str, dict]: ...
+
+    def register(self, task_ids: Iterable[str], force: bool = False) -> None: ...
+
+    def claim(self, task_id: str) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def heal(self) -> None: ...
+
+    def verify(self, repair: bool = False) -> dict: ...

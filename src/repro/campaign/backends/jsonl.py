@@ -1,0 +1,207 @@
+"""JSONL backend: today's :class:`ResultStore` behind the protocol.
+
+The store itself is unchanged — one line per record, torn-tail
+healing, a single flock-guarded writer — this module only adapts it to
+the :class:`~repro.campaign.backends.base.ResultBackend` verbs and
+adds the append-retry loop the protocol promises:
+
+* **Claiming is vacuous.**  A JSONL file cannot arbitrate rows, so
+  ``claim`` always succeeds; multi-runner safety comes from the
+  advisory lock instead — the second writer fails fast with
+  :class:`~repro.campaign.store.StoreLockedError` (naming the holding
+  PID) rather than interleaving torn records.  Use the sqlite backend
+  to actually share a store.
+* **Transient append failures are retried.**  An out-of-space or
+  otherwise failed write may leave a fresh torn tail mid-file-life;
+  between bounded-backoff retries the handle is dropped (discarding
+  any partially flushed bytes) and the tail healed back to the last
+  complete record, so the retry rewrites the whole line and the file
+  stays one-record-per-line JSONL.
+
+Storage chaos (:class:`repro.campaign.chaos.StorageChaos`) hooks into
+``append``: ``enospc`` fails the write before any byte lands, ``torn``
+writes half the encoded line straight to the descriptor and then
+fails (the mid-write out-of-space signature), and ``kill`` dies by
+SIGKILL mid-line — the byte-exact crash the healing path exists for.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterable
+
+from repro.campaign.store import SCHEMA_VERSION, ResultStore
+
+#: Bounded backoff schedule for transient append failures.
+_IO_ATTEMPTS = 5
+_IO_BACKOFF_BASE = 0.02
+_IO_BACKOFF_MAX = 0.5
+
+
+class JsonlBackend:
+    """Single-writer JSONL store behind the backend protocol."""
+
+    name = "jsonl"
+    #: The JSONL layout is versioned by its record schema.
+    STORE_SCHEMA = SCHEMA_VERSION
+    supports_claiming = False
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        fsync: bool = False,
+        lock: bool = True,
+        chaos=None,
+        store: ResultStore | None = None,
+    ) -> None:
+        if store is None:
+            if path is None:
+                raise ValueError("JsonlBackend needs a path or a ResultStore")
+            store = ResultStore(path, fsync=fsync, lock=lock)
+        self.store = store
+        self.path = store.path
+        self.chaos = chaos
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self) -> "JsonlBackend":
+        """Nothing to recover eagerly: torn-tail healing runs lazily
+        before the first append (readers tolerate the torn tail)."""
+        return self
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "JsonlBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- coordination (vacuous: the flock is the arbiter) ------------------
+
+    def register(self, task_ids: Iterable[str], force: bool = False) -> None:
+        """No task table to register into — resume is record-driven."""
+
+    def claim(self, _task_id: str) -> bool:
+        """Always ours: a locked JSONL store has exactly one writer."""
+        return True
+
+    def release(self) -> None:
+        """Nothing claimed, nothing to give back."""
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Stamp provenance and append, retrying transient I/O failures
+        with bounded backoff (healing any torn tail they left)."""
+        record["backend"] = self.name
+        record["store_schema"] = self.STORE_SCHEMA
+        delay = _IO_BACKOFF_BASE
+        for attempt in range(1, _IO_ATTEMPTS + 1):
+            try:
+                self._write(record)
+                return
+            except OSError:
+                if attempt == _IO_ATTEMPTS:
+                    raise
+                # Drop the handle (and any partially flushed bytes),
+                # heal the tail back to the last complete record, and
+                # rewrite the whole line after a short wait.
+                self.store.close()
+                try:
+                    self.store.heal()
+                except OSError:  # pragma: no cover - salvage is best-effort
+                    pass
+                time.sleep(delay)
+                delay = min(delay * 2.0, _IO_BACKOFF_MAX)
+
+    def _write(self, record: dict) -> None:
+        """One append attempt, with the storage-chaos hook applied."""
+        kind = (
+            self.chaos.append_fault(record.get("task_id", ""))
+            if self.chaos is not None
+            else "ok"
+        )
+        if kind == "enospc":
+            raise OSError(
+                errno.ENOSPC, "injected ENOSPC before the record write"
+            )
+        if kind in ("torn", "kill"):
+            self._torn_write(record, die=kind == "kill")
+        self.store.append(record)
+
+    def _torn_write(self, record: dict, *, die: bool) -> None:
+        """Write half the encoded line straight to the descriptor — a
+        flush that ran out of disk (or a process killed) mid-record —
+        then fail the attempt or the whole process."""
+        handle = self.store._ensure_handle()
+        data = (
+            json.dumps(record, sort_keys=True, ensure_ascii=False) + "\n"
+        ).encode("utf-8")
+        os.write(handle.fileno(), data[: max(1, len(data) // 2)])
+        if die:
+            from repro.campaign.chaos import _kill_self
+
+            _kill_self()
+        raise OSError(errno.ENOSPC, "injected ENOSPC mid-record write")
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> list[dict]:
+        return self.store.load()
+
+    def latest(self) -> dict[str, dict]:
+        return self.store.latest()
+
+    # -- integrity ---------------------------------------------------------
+
+    def heal(self) -> None:
+        self.store.heal()
+
+    def verify(self, repair: bool = False) -> dict:
+        """Integrity census: record count, torn tail, mid-file
+        corruption.  A torn tail is the recoverable kill signature
+        (``repair=True`` heals it); mid-file corruption is not."""
+        report = {
+            "backend": self.name,
+            "path": str(self.path),
+            "store_schema": self.STORE_SCHEMA,
+            "ok": True,
+            "n_records": 0,
+            "n_tasks_ok": 0,
+            "n_corrupt": 0,
+            "n_quarantined": 0,
+            "torn_tail": False,
+            "problems": [],
+        }
+        if self.path.exists():
+            data = self.path.read_bytes()
+            report["torn_tail"] = bool(data) and not data.endswith(b"\n")
+        try:
+            records = self.store.load()
+        except ValueError as exc:
+            report["ok"] = False
+            report["n_corrupt"] = 1
+            report["problems"].append(str(exc))
+            return report
+        report["n_records"] = len(records)
+        report["n_tasks_ok"] = sum(
+            1
+            for record in self.store.latest().values()
+            if record.get("status") == "ok"
+        )
+        if report["torn_tail"]:
+            report["problems"].append(
+                "torn trailing record (kill signature; heals on the next "
+                "append and its task reruns)"
+            )
+            if repair:
+                self.heal()
+                report["torn_tail"] = False
+        return report

@@ -1,0 +1,567 @@
+"""Sqlite backend: crash-safe multi-runner campaign storage.
+
+Where the JSONL backend locks out the second writer, this backend is
+built for N independent runner *processes* sharing one store and
+splitting a grid between them with no duplicated and no lost rows:
+
+* **WAL journaling.**  The database runs in write-ahead-log mode, so
+  readers never block the writer, a mid-transaction SIGKILL rolls back
+  on the next open (journal recovery), and ``fsync=True`` maps to
+  ``synchronous=FULL`` for machine-crash durability (``NORMAL``, the
+  default, already survives process kills).
+* **Atomic task claiming.**  A ``tasks`` row moves ``pending →
+  claimed`` via a single ``UPDATE … WHERE status='pending'`` — exactly
+  one of N concurrent claimants observes ``rowcount == 1`` — and
+  ``claimed → done`` happens in the *same transaction* that inserts
+  the result row, so a runner killed between claim and commit leaves
+  nothing but a stale claim.  Stale claims (owner PID dead, or lease
+  expired where PIDs cannot be probed) are re-queued on every open.
+* **Per-row checksums.**  Each result row stores the CRC-32 of its
+  canonical JSON text.  ``open``/``verify(repair=True)`` recompute
+  them; torn or tampered rows are moved to a ``quarantine`` table
+  (evidence, not silent deletion) and their tasks re-queued, so a
+  resume recomputes exactly the damaged cells.
+* **Schema versioning + one-way migration.**  ``meta.store_schema``
+  names the layout version (:data:`SqliteBackend.STORE_SCHEMA`); a
+  store written by a newer layout refuses to open.
+  :func:`migrate_jsonl_to_sqlite` lifts an existing JSONL store into a
+  fresh sqlite one (source untouched), preserving record order and
+  history.
+* **Bounded backoff on contention.**  Writes ride sqlite's
+  ``busy_timeout`` plus an explicit retry loop with exponential
+  backoff, so sustained lock contention (another runner mid-commit,
+  a reporting reader, injected chaos) delays a campaign instead of
+  failing it.
+
+Storage chaos (:class:`repro.campaign.chaos.StorageChaos`) hooks:
+``claim`` faults fire after the claim transaction commits (``kill`` =
+SIGKILL between claim and commit — the acceptance scenario), and
+``append`` faults fire inside the append (``enospc`` fails the attempt
+before the transaction; ``kill``/``torn`` SIGKILL after the result
+``INSERT`` but before ``COMMIT`` — the mid-transaction kill WAL
+recovery must erase).
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import sqlite3
+import time
+import zlib
+from pathlib import Path
+from typing import Iterable
+
+from repro.campaign.store import SCHEMA_VERSION, ResultStore
+
+#: Bounded backoff schedule for contended/failed write transactions.
+_IO_ATTEMPTS = 6
+_IO_BACKOFF_BASE = 0.02
+_IO_BACKOFF_MAX = 1.0
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    seq      INTEGER PRIMARY KEY AUTOINCREMENT,
+    task_id  TEXT NOT NULL,
+    status   TEXT NOT NULL,
+    record   TEXT NOT NULL,
+    checksum INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_task ON results(task_id);
+CREATE TABLE IF NOT EXISTS tasks (
+    task_id    TEXT PRIMARY KEY,
+    status     TEXT NOT NULL DEFAULT 'pending'
+               CHECK (status IN ('pending', 'claimed', 'done')),
+    owner_pid  INTEGER,
+    claimed_at REAL
+);
+CREATE TABLE IF NOT EXISTS quarantine (
+    seq            INTEGER,
+    task_id        TEXT,
+    record         TEXT NOT NULL,
+    checksum       INTEGER,
+    reason         TEXT NOT NULL,
+    quarantined_at REAL
+);
+"""
+
+
+def _checksum(text: str) -> int:
+    """CRC-32 of the canonical record text (torn/tamper detection)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def _pid_alive(pid: int) -> bool | None:
+    """Whether ``pid`` is a live process on this host; ``None`` when it
+    cannot be probed (no ``os.kill(pid, 0)`` semantics)."""
+    if not hasattr(os, "kill"):  # pragma: no cover - platform dependent
+        return None
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return None
+    return True
+
+
+class SqliteBackend:
+    """WAL-mode sqlite result store with atomic task claiming."""
+
+    name = "sqlite"
+    #: Version of the table layout above (``meta.store_schema``).
+    STORE_SCHEMA = 1
+    supports_claiming = True
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: bool = False,
+        lock: bool = True,  # noqa: ARG002 - sqlite locks itself; kept for
+        chaos=None,         #   ctor uniformity across backends
+        busy_timeout_s: float = 5.0,
+        claim_lease_s: float = 3600.0,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.chaos = chaos
+        self.busy_timeout_s = busy_timeout_s
+        self.claim_lease_s = claim_lease_s
+        self._conn: sqlite3.Connection | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self) -> "SqliteBackend":
+        """Connect (running WAL journal recovery), create/validate the
+        schema, quarantine corrupt rows and re-queue stale claims."""
+        if self._conn is not None:
+            return self
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(
+            str(self.path),
+            timeout=self.busy_timeout_s,
+            isolation_level=None,  # autocommit; transactions are explicit
+        )
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute(
+            f"PRAGMA synchronous={'FULL' if self.fsync else 'NORMAL'}"
+        )
+        conn.execute(f"PRAGMA busy_timeout={int(self.busy_timeout_s * 1000)}")
+        self._conn = conn
+        self._init_schema()
+        self.verify(repair=True)
+        self._requeue_stale()
+        return self
+
+    def close(self) -> None:
+        """Give back unfinished claims and drop the connection."""
+        if self._conn is None:
+            return
+        try:
+            self.release()
+        except sqlite3.Error:  # pragma: no cover - teardown is best-effort
+            pass
+        self._conn.close()
+        self._conn = None
+
+    def __enter__(self) -> "SqliteBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self.open()
+        assert self._conn is not None
+        return self._conn
+
+    def _init_schema(self) -> None:
+        assert self._conn is not None
+        self._conn.executescript(_SCHEMA_SQL)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("store_schema", str(self.STORE_SCHEMA)),
+        )
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("record_schema", str(SCHEMA_VERSION)),
+        )
+        stored = int(self._meta("store_schema"))
+        if stored > self.STORE_SCHEMA:
+            raise RuntimeError(
+                f"{self.path}: store layout v{stored} is newer than this "
+                f"code understands (v{self.STORE_SCHEMA}); upgrade the "
+                "checkout instead of the store"
+            )
+        # stored < STORE_SCHEMA is where one-way layout upgrades will
+        # run when a v2 layout exists; v1 is the first.
+
+    def _meta(self, key: str) -> str:
+        row = self._connection().execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"{self.path}: missing meta key {key!r}")
+        return row[0]
+
+    # -- contention-tolerant write helper ----------------------------------
+
+    def _with_retry(self, operation):
+        """Run a write ``operation`` with bounded exponential backoff on
+        lock contention (``database is locked``) and transient OS-level
+        failures (out of space)."""
+        delay = _IO_BACKOFF_BASE
+        for attempt in range(1, _IO_ATTEMPTS + 1):
+            try:
+                return operation()
+            except (sqlite3.OperationalError, OSError):
+                try:
+                    self._connection().execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass  # no transaction was open
+                if attempt == _IO_ATTEMPTS:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2.0, _IO_BACKOFF_MAX)
+
+    # -- coordination ------------------------------------------------------
+
+    def register(
+        self, task_ids: Iterable[str], force: bool = False
+    ) -> None:
+        """Make task rows exist (idempotent) and re-queue the ones that
+        need recomputation: ``done`` rows whose latest record is not
+        ``ok`` (always), ``done`` rows unconditionally when ``force``
+        (the ``--no-resume`` path), and stale claims."""
+        ids = list(task_ids)
+        if not ids:
+            return
+        conn = self._connection()
+
+        def txn() -> None:
+            conn.execute("BEGIN IMMEDIATE")
+            for task_id in ids:
+                conn.execute(
+                    "INSERT OR IGNORE INTO tasks (task_id, status) "
+                    "VALUES (?, 'pending')",
+                    (task_id,),
+                )
+                if force:
+                    conn.execute(
+                        "UPDATE tasks SET status='pending', owner_pid=NULL, "
+                        "claimed_at=NULL WHERE task_id=? AND status='done'",
+                        (task_id,),
+                    )
+                else:
+                    # Re-queue a finished task only if its latest record
+                    # is not ok — the guard that keeps a racing runner
+                    # with a stale pending list from recomputing (and
+                    # duplicating) a row another runner just committed.
+                    conn.execute(
+                        "UPDATE tasks SET status='pending', owner_pid=NULL, "
+                        "claimed_at=NULL WHERE task_id=? AND status='done' "
+                        "AND COALESCE((SELECT r.status FROM results r "
+                        "  WHERE r.task_id = tasks.task_id "
+                        "  ORDER BY r.seq DESC LIMIT 1), '') != 'ok'",
+                        (task_id,),
+                    )
+            conn.execute("COMMIT")
+
+        self._with_retry(txn)
+        self._requeue_stale(set(ids))
+
+    def claim(self, task_id: str) -> bool:
+        """Atomically take ownership of a pending task: exactly one of
+        N concurrent claimants sees the row flip under its UPDATE."""
+        conn = self._connection()
+
+        def txn() -> bool:
+            cur = conn.execute(
+                "UPDATE tasks SET status='claimed', owner_pid=?, "
+                "claimed_at=? WHERE task_id=? AND status='pending'",
+                (os.getpid(), time.time(), task_id),
+            )
+            return cur.rowcount == 1
+        claimed = self._with_retry(txn)
+        if claimed and self.chaos is not None:
+            # May SIGKILL: the crash-between-claim-and-commit scenario.
+            self.chaos.claim_fault(task_id)
+        return claimed
+
+    def release(self) -> None:
+        """Give back every claim this process still holds (clean
+        shutdown; a SIGKILLed runner's claims go stale instead and are
+        re-queued on the next open)."""
+        conn = self._connection()
+        self._with_retry(
+            lambda: conn.execute(
+                "UPDATE tasks SET status='pending', owner_pid=NULL, "
+                "claimed_at=NULL WHERE status='claimed' AND owner_pid=?",
+                (os.getpid(),),
+            )
+        )
+
+    def _claim_is_stale(self, pid, claimed_at) -> bool:
+        """A claim is stale when its owner is provably dead, or — where
+        PID liveness cannot be probed — when its lease expired."""
+        if pid is None:
+            return True
+        alive = _pid_alive(int(pid))
+        if alive is not None:
+            return not alive
+        age = time.time() - (claimed_at or 0.0)
+        return age > self.claim_lease_s
+
+    def _requeue_stale(self, task_ids: set[str] | None = None) -> int:
+        """Re-queue claims whose owners died (crash between claim and
+        commit leaves exactly this state behind)."""
+        conn = self._connection()
+        rows = conn.execute(
+            "SELECT task_id, owner_pid, claimed_at FROM tasks "
+            "WHERE status='claimed'"
+        ).fetchall()
+        requeued = 0
+        for task_id, pid, claimed_at in rows:
+            if task_ids is not None and task_id not in task_ids:
+                continue
+            if not self._claim_is_stale(pid, claimed_at):
+                continue
+            def txn(task_id=task_id, pid=pid):
+                cur = conn.execute(
+                    "UPDATE tasks SET status='pending', owner_pid=NULL, "
+                    "claimed_at=NULL WHERE task_id=? AND status='claimed' "
+                    "AND owner_pid IS ?",
+                    (task_id, pid),
+                )
+                return cur.rowcount
+            requeued += self._with_retry(txn)
+        return requeued
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Insert the result row and mark its task done in one
+        transaction — the claim → commit step is atomic, so a kill
+        anywhere inside leaves either both effects or neither."""
+        record["backend"] = self.name
+        record["store_schema"] = self.STORE_SCHEMA
+        task_id = record.get("task_id", "")
+        status = record.get("status", "")
+        text = json.dumps(record, sort_keys=True, ensure_ascii=False)
+        checksum = _checksum(text)
+        conn = self._connection()
+
+        def txn() -> None:
+            kind = (
+                self.chaos.append_fault(task_id)
+                if self.chaos is not None
+                else "ok"
+            )
+            if kind == "enospc":
+                raise OSError(
+                    errno.ENOSPC, "injected ENOSPC before the transaction"
+                )
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                conn.execute(
+                    "INSERT INTO results (task_id, status, record, checksum)"
+                    " VALUES (?, ?, ?, ?)",
+                    (task_id, status, text, checksum),
+                )
+                if kind in ("kill", "torn"):
+                    # Die inside the transaction: WAL journal recovery
+                    # must erase the uncommitted row on the next open.
+                    from repro.campaign.chaos import _kill_self
+
+                    _kill_self()
+                conn.execute(
+                    "INSERT INTO tasks (task_id, status) VALUES (?, 'done') "
+                    "ON CONFLICT(task_id) DO UPDATE SET status='done', "
+                    "owner_pid=NULL, claimed_at=NULL",
+                    (task_id,),
+                )
+                conn.execute("COMMIT")
+            except BaseException:
+                try:
+                    conn.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+                raise
+
+        self._with_retry(txn)
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> list[dict]:
+        """All records in commit order (the JSONL file-order analogue)."""
+        rows = self._connection().execute(
+            "SELECT record FROM results ORDER BY seq"
+        ).fetchall()
+        return [json.loads(text) for (text,) in rows]
+
+    def latest(self) -> dict[str, dict]:
+        """task_id -> most recent record (reruns supersede old rows)."""
+        latest: dict[str, dict] = {}
+        rows = self._connection().execute(
+            "SELECT task_id, record FROM results ORDER BY seq"
+        ).fetchall()
+        for task_id, text in rows:
+            latest[task_id] = json.loads(text)
+        return latest
+
+    # -- integrity ---------------------------------------------------------
+
+    def heal(self) -> None:
+        """On-demand recovery: same pass ``open`` runs."""
+        self.verify(repair=True)
+        self._requeue_stale()
+
+    def verify(self, repair: bool = False) -> dict:
+        """Checksum/claim/quarantine census.
+
+        Every result row's CRC-32 and JSON are recomputed; with
+        ``repair=True`` failing rows move to the quarantine table and
+        their tasks are re-queued (then a resume recomputes exactly
+        those cells).  ``ok`` means: no corrupt rows remain, and every
+        quarantined task has since been recomputed to an ``ok`` record
+        (quarantine evidence alone does not fail a healthy store).
+        """
+        conn = self._connection()
+        rows = conn.execute(
+            "SELECT seq, task_id, record, checksum FROM results "
+            "ORDER BY seq"
+        ).fetchall()
+        corrupt: list[tuple[int, str, str, int, str]] = []
+        # Latest good record per task, computed from this same scan
+        # (``self.latest()`` would choke on the corrupt rows that may
+        # still be present when ``repair=False``).
+        latest: dict[str, dict] = {}
+        for seq, task_id, text, checksum in rows:
+            reason = None
+            if _checksum(text) != checksum:
+                reason = "checksum mismatch (torn or tampered row)"
+            else:
+                try:
+                    latest[task_id] = json.loads(text)
+                except json.JSONDecodeError:
+                    reason = "unparseable record JSON"
+            if reason is not None:
+                corrupt.append((seq, task_id, text, checksum, reason))
+        if repair and corrupt:
+            def txn() -> None:
+                conn.execute("BEGIN IMMEDIATE")
+                for seq, task_id, text, checksum, reason in corrupt:
+                    conn.execute(
+                        "INSERT INTO quarantine (seq, task_id, record, "
+                        "checksum, reason, quarantined_at) "
+                        "VALUES (?, ?, ?, ?, ?, ?)",
+                        (seq, task_id, text, checksum, reason, time.time()),
+                    )
+                    conn.execute(
+                        "DELETE FROM results WHERE seq = ?", (seq,)
+                    )
+                    # Re-queue the damaged cell so resume recomputes it.
+                    conn.execute(
+                        "INSERT INTO tasks (task_id, status) "
+                        "VALUES (?, 'pending') ON CONFLICT(task_id) DO "
+                        "UPDATE SET status='pending', owner_pid=NULL, "
+                        "claimed_at=NULL",
+                        (task_id,),
+                    )
+                conn.execute("COMMIT")
+
+            self._with_retry(txn)
+        task_counts = dict(
+            conn.execute(
+                "SELECT status, COUNT(*) FROM tasks GROUP BY status"
+            ).fetchall()
+        )
+        stale = sum(
+            1
+            for _tid, pid, ts in conn.execute(
+                "SELECT task_id, owner_pid, claimed_at FROM tasks "
+                "WHERE status='claimed'"
+            ).fetchall()
+            if self._claim_is_stale(pid, ts)
+        )
+        quarantined_tasks = {
+            task_id
+            for (task_id,) in conn.execute(
+                "SELECT DISTINCT task_id FROM quarantine"
+            ).fetchall()
+            if task_id
+        }
+        unresolved = sorted(
+            task_id
+            for task_id in quarantined_tasks
+            if latest.get(task_id, {}).get("status") != "ok"
+        )
+        n_quarantined = conn.execute(
+            "SELECT COUNT(*) FROM quarantine"
+        ).fetchone()[0]
+        report = {
+            "backend": self.name,
+            "path": str(self.path),
+            "store_schema": int(self._meta("store_schema")),
+            "ok": not corrupt and not unresolved,
+            "n_records": len(rows) - (len(corrupt) if repair else 0),
+            "n_tasks_ok": sum(
+                1 for r in latest.values() if r.get("status") == "ok"
+            ),
+            "n_corrupt": len(corrupt),
+            "n_quarantined": n_quarantined,
+            "n_stale_claims": stale,
+            "tasks": {k: task_counts[k] for k in sorted(task_counts)},
+            "problems": [],
+        }
+        for _seq, task_id, _text, _sum, reason in corrupt:
+            verb = "quarantined + re-queued" if repair else "found"
+            report["problems"].append(f"{verb} {task_id or '?'}: {reason}")
+        for task_id in unresolved:
+            report["problems"].append(
+                f"quarantined {task_id} not yet recomputed "
+                "(resume the campaign)"
+            )
+        return report
+
+
+def migrate_jsonl_to_sqlite(
+    src: str | Path, dst: str | Path, *, fsync: bool = False
+) -> int:
+    """One-way migration of an existing JSONL store into a fresh sqlite
+    store (the source file is left untouched).
+
+    Record order and full history are preserved — every JSONL line
+    becomes a result row, re-stamped with the sqlite backend's
+    provenance, its task marked ``done`` — so resume, ``latest`` and
+    table rendering behave identically on the migrated store.  Returns
+    the number of records migrated.
+    """
+    src, dst = Path(src), Path(dst)
+    if dst.exists():
+        raise FileExistsError(
+            f"{dst}: refusing to migrate onto an existing file "
+            "(migration is one-way, into a fresh store)"
+        )
+    records = ResultStore(src, lock=False).load()  # tolerates a torn tail
+    backend = SqliteBackend(dst, fsync=fsync).open()
+    try:
+        for record in records:
+            backend.append(dict(record))
+        conn = backend._connection()
+        conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            ("migrated_from", str(src)),
+        )
+    finally:
+        backend.close()
+    return len(records)

@@ -42,10 +42,22 @@ Fault kinds (attempts past the end of a script run clean):
     :class:`ChaosEngineError`, forcing degradation to the next engine
     (``engine_used`` then records the fallback).
 
-:func:`tear_tail` is the store-side injection: it truncates the final
-record mid-line, the exact signature of a campaign killed mid-write,
-so resume-after-torn-write is testable without actually killing a
-process.
+Storage-layer chaos lives alongside the worker-layer script:
+
+* :class:`StorageChaos` scripts faults at the *backend* seam — a
+  SIGKILL right after a task claim commits (crash between claim and
+  commit), a mid-transaction / mid-line kill during ``append``, and
+  simulated out-of-space (``enospc``) failures the backends' bounded
+  retries must absorb.  Attach it as ``ChaosPolicy(storage=...)`` (or
+  hand it to a backend directly) and the runner threads it through.
+* :func:`tear_tail` truncates the final store record mid-line, the
+  exact signature of a campaign killed mid-write, so resume-after-
+  torn-write is testable without actually killing a process;
+  ``inside_utf8=True`` cuts *inside* a multi-byte UTF-8 sequence — the
+  nastiest legal torn tail, which healing must also survive.
+* :func:`hold_sqlite_write_lock` camps on a sqlite store's write lock
+  for a while, producing the sustained lock contention the sqlite
+  backend's busy-timeout + backoff must ride out.
 """
 
 from __future__ import annotations
@@ -108,9 +120,15 @@ class ChaosPolicy:
     unlisted tasks and attempts past a script's end run clean.  The
     policy is immutable and picklable, so forked/spawned workers carry
     the identical script — injection is fully deterministic.
+
+    ``storage`` optionally carries a :class:`StorageChaos` script; the
+    runner hands it to the store backend it opens, so one policy
+    object describes a scenario's worker-layer *and* storage-layer
+    faults together.
     """
 
     script: Mapping[str, Sequence[str]]
+    storage: "StorageChaos | None" = None
 
     def __post_init__(self) -> None:
         for task_id, faults in self.script.items():
@@ -165,17 +183,137 @@ class ChaosPolicy:
             )
 
 
-def tear_tail(path: str | Path, fraction: float = 0.5) -> Path:
+#: Legal storage fault kinds, per injection point.
+STORAGE_FAULT_KINDS: dict[str, frozenset[str]] = {
+    "claim": frozenset({"ok", "kill"}),
+    "append": frozenset({"ok", "enospc", "torn", "kill"}),
+}
+
+
+class StorageChaos:
+    """Scripted storage-layer faults, keyed by ``(event, task_id)``.
+
+    ``script`` maps an event name to ``{task_id: (kind, kind, ...)}``;
+    each occurrence of that event for that task consumes the next kind
+    in its script (occurrences past the end run clean), so scenarios
+    like "the first append of this cell tears, the retry succeeds" are
+    one tuple.  Events and their kinds:
+
+    ``claim``
+        Fires right after a task claim *commits*.  ``kill`` SIGKILLs
+        the runner process on the spot — the crash between claim and
+        commit that must leave nothing behind but a stale claim.
+    ``append``
+        Fires inside a record append.  ``enospc`` fails the attempt
+        with an out-of-space :class:`OSError` before any byte/row
+        lands (the backend's bounded-backoff retry absorbs it);
+        ``torn`` leaves a half-written line (JSONL) or fails
+        mid-transaction (sqlite) and fails the attempt; ``kill``
+        SIGKILLs mid-write/mid-transaction — healing (JSONL) or WAL
+        journal recovery (sqlite) must erase the partial effect.
+
+    Unlike :class:`ChaosPolicy` this object is stateful (it tracks how
+    far each script has been consumed); build one per scenario/process.
+    """
+
+    def __init__(
+        self, script: Mapping[str, Mapping[str, Sequence[str]]]
+    ) -> None:
+        for event, per_task in script.items():
+            legal = STORAGE_FAULT_KINDS.get(event)
+            if legal is None:
+                raise ValueError(
+                    f"unknown storage chaos event {event!r}; expected "
+                    f"{sorted(STORAGE_FAULT_KINDS)}"
+                )
+            for task_id, kinds in per_task.items():
+                unknown = set(kinds) - legal
+                if unknown:
+                    raise ValueError(
+                        f"unknown {event} fault kind(s) {sorted(unknown)} "
+                        f"for {task_id!r}; expected {sorted(legal)}"
+                    )
+        self.script = script
+        self._cursors: dict[tuple[str, str], int] = {}
+
+    def _next(self, event: str, task_id: str) -> str:
+        kinds = self.script.get(event, {}).get(task_id, ())
+        cursor = self._cursors.get((event, task_id), 0)
+        self._cursors[(event, task_id)] = cursor + 1
+        return kinds[cursor] if cursor < len(kinds) else "ok"
+
+    def claim_fault(self, task_id: str) -> None:
+        """Backend hook, fired after a claim commits; may not return."""
+        if self._next("claim", task_id) == "kill":
+            _kill_self()
+
+    def append_fault(self, task_id: str) -> str:
+        """Backend hook, fired per append attempt; returns the kind
+        (the backend implements the fault at its own write seam)."""
+        return self._next("append", task_id)
+
+
+def tear_tail(
+    path: str | Path, fraction: float = 0.5, *, inside_utf8: bool = False
+) -> Path:
     """Truncate the final store record mid-line — the byte-exact
     signature of a campaign killed during a write.  The store's
     torn-tail healing must recover the file and resume must recompute
-    exactly the torn record's task."""
+    exactly the torn record's task.
+
+    ``inside_utf8=True`` places the cut one byte after the last
+    multi-byte UTF-8 lead byte of the line, i.e. *inside* a multi-byte
+    sequence — a perfectly possible kill point that additionally makes
+    the torn tail undecodable, not just unparseable.  Raises
+    :class:`ValueError` if the final record contains no multi-byte
+    character to tear through.
+    """
     path = Path(path)
     data = path.read_bytes()
     lines = data.splitlines(keepends=True)
     if not lines:
         raise ValueError(f"{path}: empty store, nothing to tear")
     last = lines[-1]
-    cut = max(1, min(len(last) - 2, int(len(last) * fraction)))
+    if inside_utf8:
+        # UTF-8 lead bytes of multi-byte sequences are 0xC2..0xF4;
+        # cutting right after one strands its continuation bytes.
+        lead = max(
+            (k for k, byte in enumerate(last) if byte >= 0xC2), default=None
+        )
+        if lead is None:
+            raise ValueError(
+                f"{path}: final record is pure ASCII, no multi-byte "
+                "UTF-8 sequence to tear inside"
+            )
+        cut = lead + 1
+    else:
+        cut = max(1, min(len(last) - 2, int(len(last) * fraction)))
     path.write_bytes(data[: len(data) - len(last)] + last[:cut])
     return path
+
+
+def hold_sqlite_write_lock(
+    path: str | Path, hold_s: float, ready=None
+) -> None:
+    """Camp on a sqlite store's write lock for ``hold_s`` seconds —
+    the sustained lock contention a concurrent runner's busy-timeout
+    and bounded backoff must ride out.  ``ready`` (an
+    ``Event``-like with ``set``) is signalled once the lock is held.
+    Run in a thread or child process alongside the campaign."""
+    import sqlite3
+
+    conn = sqlite3.connect(str(path), isolation_level=None)
+    try:
+        conn.execute("BEGIN IMMEDIATE")
+        # Touch a real table so the intent lock escalates to a held
+        # write lock even on pristine stores.
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS _chaos_contention (x INTEGER)"
+        )
+        conn.execute("INSERT INTO _chaos_contention VALUES (1)")
+        if ready is not None:
+            ready.set()
+        time.sleep(hold_s)
+        conn.execute("ROLLBACK")
+    finally:
+        conn.close()

@@ -4,11 +4,12 @@ Subcommands::
 
     repro list          circuits + fault classes the grids are built from
     repro run           run a (circuit x fault-class) grid, checkpointed
-    repro report        re-render tables from a stored JSONL campaign
+    repro report        re-render tables from a stored campaign
     repro paper-tables  the paper's Section 5 coverage/escape tables
     repro experiment    single paper artifacts (Table I-III, Fig. 3-5, V-C)
     repro demo          the narrated walkthroughs behind ``examples/``
     repro faults        the fault-universe registry (list / census)
+    repro campaign      store maintenance (verify-store / migrate-store)
 
 Copy-paste invocations for each paper table live in
 ``docs/CAMPAIGNS.md``; the end-to-end walkthrough in
@@ -19,18 +20,30 @@ Copy-paste invocations for each paper table live in
     python -m repro report --store campaign_store.jsonl
     python -m repro paper-tables
 
-``run`` and ``paper-tables`` resume from their JSONL store by default:
+``run`` and ``paper-tables`` resume from their store by default:
 interrupt them mid-grid and the rerun recomputes only unfinished tasks.
+The store is pluggable (``--backend jsonl|sqlite``, default: detect
+from the file): JSONL is the single-writer default; sqlite coordinates
+*multiple concurrent runner processes* sharing one store via atomic
+task claims — point N ``repro run`` invocations at the same
+``--backend sqlite --store grid.sqlite`` and they split the grid.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
+from repro.campaign.backends import (
+    BACKENDS,
+    migrate_jsonl_to_sqlite,
+    open_store,
+)
 from repro.campaign.registry import get_registry
 from repro.campaign.runner import RetryPolicy, expand_grid, run_campaign
-from repro.campaign.store import ResultStore
+from repro.campaign.store import StoreLockedError
 from repro.campaign.tables import (
     SECTION5_READING,
     SECTION5_SUITE as PAPER_SUITE,
@@ -102,6 +115,13 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
              f"{RetryPolicy.watchdog_grace:g}s)",
     )
     parser.add_argument(
+        "--backend", default="auto",
+        choices=("auto", *sorted(BACKENDS)),
+        help="store backend: jsonl (single writer, fails fast if "
+             "locked) or sqlite (multi-runner, atomic task claims); "
+             "auto detects from the store file (default)",
+    )
+    parser.add_argument(
         "--fsync", action="store_true",
         help="fsync the store after every record (survives machine "
              "crashes, not just process kills)",
@@ -134,25 +154,47 @@ def _retry_policy(args) -> RetryPolicy:
     return RetryPolicy(**overrides)
 
 
+def _resolve_store(args, default: str) -> str:
+    """The effective store path: when ``--backend sqlite`` is asked
+    for but the store path was left at its JSONL-named default, swap
+    the suffix so the two backends' default stores do not collide."""
+    if args.store == default and getattr(args, "backend", "auto") == "sqlite":
+        return str(Path(default).with_suffix(".sqlite"))
+    return args.store
+
+
 def _run_grid(args, circuits, fault_classes, store_path) -> int:
     grid = expand_grid(
         circuits, fault_classes, engine=args.engine
     )
-    with ResultStore(store_path, fsync=args.fsync) as store:
-        result = run_campaign(
-            grid,
-            store=store,
-            workers=args.workers or 1,
-            timeout=args.timeout,
-            resume=not args.no_resume,
-            progress=lambda line: print(line, file=sys.stderr),
-            policy=_retry_policy(args),
-        )
+    try:
+        store = open_store(store_path, args.backend, fsync=args.fsync)
+    except StoreLockedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    try:
+        with store:
+            result = run_campaign(
+                grid,
+                store=store,
+                workers=args.workers or 1,
+                timeout=args.timeout,
+                resume=not args.no_resume,
+                progress=lambda line: print(line, file=sys.stderr),
+                policy=_retry_policy(args),
+            )
+    except StoreLockedError as exc:
+        # JSONL locks lazily, on the first append.
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     print(render_report(result.records))
     if result.store_path is not None:
+        external = (
+            f", {result.n_external} run elsewhere" if result.n_external else ""
+        )
         print(f"\nstore: {result.store_path} "
               f"({result.n_run} run, {result.n_skipped} resumed, "
-              f"{result.n_failed} failed)")
+              f"{result.n_failed} failed{external})")
     # Exit nonzero whenever any cell did not finish ok (error, timeout
     # or poisoned) so CI grids actually gate on campaign health.
     return 1 if result.n_failed else 0
@@ -214,12 +256,17 @@ def cmd_run(args) -> int:
             print("no circuits selected: pass --circuits, --tag, --bench "
                   "or --smoke", file=sys.stderr)
             return 2
-    return _run_grid(args, circuits, fault_classes, args.store)
+    return _run_grid(
+        args, circuits, fault_classes, _resolve_store(args, DEFAULT_STORE)
+    )
 
 
 def cmd_report(args) -> int:
-    store = ResultStore(args.store)
-    records = list(store.latest().values())
+    if not Path(args.store).exists():
+        print(f"no store at {args.store}", file=sys.stderr)
+        return 1
+    with open_store(args.store, args.backend, lock=False) as store:
+        records = list(store.latest().values())
     if not records:
         print(f"no records in {args.store}", file=sys.stderr)
         return 1
@@ -240,16 +287,23 @@ def cmd_paper_tables(args) -> int:
         args.fault_classes or DEFAULT_FAULT_CLASSES,
         engine=args.engine,
     )
-    with ResultStore(args.store, fsync=args.fsync) as store:
-        result = run_campaign(
-            grid,
-            store=store,
-            workers=args.workers or 1,
-            timeout=args.timeout,
-            resume=not args.no_resume,
-            progress=lambda line: print(line, file=sys.stderr),
-            policy=_retry_policy(args),
-        )
+    try:
+        with open_store(
+            _resolve_store(args, PAPER_STORE), args.backend,
+            fsync=args.fsync,
+        ) as store:
+            result = run_campaign(
+                grid,
+                store=store,
+                workers=args.workers or 1,
+                timeout=args.timeout,
+                resume=not args.no_resume,
+                progress=lambda line: print(line, file=sys.stderr),
+                policy=_retry_policy(args),
+            )
+    except StoreLockedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     print("Section 5 coverage study: "
           "classic stuck-at tests vs CP fault models")
     print(coverage_table(result.records))
@@ -260,10 +314,52 @@ def cmd_paper_tables(args) -> int:
     print()
     print(SECTION5_READING)
     if result.store_path is not None:
+        external = (
+            f", {result.n_external} run elsewhere" if result.n_external else ""
+        )
         print(f"\nstore: {result.store_path} "
               f"({result.n_run} run, {result.n_skipped} resumed, "
-              f"{result.n_failed} failed)")
+              f"{result.n_failed} failed{external})")
     return 1 if result.n_failed else 0
+
+
+def cmd_verify_store(args) -> int:
+    """Integrity census of a campaign store (``--repair`` additionally
+    heals torn tails / quarantines corrupt rows and re-queues their
+    tasks).  Exit 0 iff the store is healthy."""
+    if not Path(args.store).exists():
+        print(f"no store at {args.store}", file=sys.stderr)
+        return 1
+    with open_store(args.store, args.backend, lock=False) as store:
+        report = store.verify(repair=args.repair)
+    for key in (
+        "backend", "path", "store_schema", "n_records", "n_tasks_ok",
+        "n_corrupt", "n_quarantined", "n_stale_claims", "torn_tail",
+    ):
+        if key in report:
+            print(f"{key:>15}: {report[key]}")
+    if report.get("tasks"):
+        print(f"{'tasks':>15}: {json.dumps(report['tasks'])}")
+    for problem in report["problems"]:
+        print(f"{'problem':>15}: {problem}")
+    print(f"{'ok':>15}: {report['ok']}")
+    return 0 if report["ok"] else 1
+
+
+def cmd_migrate_store(args) -> int:
+    """One-way JSONL → sqlite store migration (source left in place)."""
+    src, dst = Path(args.store), Path(args.to)
+    if not src.exists():
+        print(f"no store at {src}", file=sys.stderr)
+        return 1
+    try:
+        count = migrate_jsonl_to_sqlite(src, dst, fsync=args.fsync)
+    except (FileExistsError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"migrated {count} record(s): {src} -> {dst}")
+    print(f"verify with: repro campaign verify-store --store {dst}")
+    return 0
 
 
 def cmd_experiment(args) -> int:
@@ -330,10 +426,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("--store", default=DEFAULT_STORE, metavar="PATH")
     p_report.add_argument(
+        "--backend", default="auto", choices=("auto", *sorted(BACKENDS)),
+    )
+    p_report.add_argument(
         "--table", default="all",
         choices=("all", "coverage", "escapes", "tasks"),
     )
     p_report.set_defaults(func=cmd_report)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="store maintenance: integrity checks and backend migration",
+    )
+    campaign_sub = p_campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    pc_verify = campaign_sub.add_parser(
+        "verify-store",
+        help="checksum/claim/quarantine census of a store "
+             "(exit 0 iff healthy)",
+    )
+    pc_verify.add_argument("--store", default=DEFAULT_STORE, metavar="PATH")
+    pc_verify.add_argument(
+        "--backend", default="auto", choices=("auto", *sorted(BACKENDS)),
+    )
+    pc_verify.add_argument(
+        "--repair", action="store_true",
+        help="also heal torn tails / quarantine corrupt rows and "
+             "re-queue their tasks",
+    )
+    pc_verify.set_defaults(func=cmd_verify_store)
+    pc_migrate = campaign_sub.add_parser(
+        "migrate-store",
+        help="one-way JSONL -> sqlite migration (source untouched)",
+    )
+    pc_migrate.add_argument(
+        "--store", required=True, metavar="SRC", help="JSONL source store"
+    )
+    pc_migrate.add_argument(
+        "--to", required=True, metavar="DST",
+        help="fresh sqlite destination (must not exist)",
+    )
+    pc_migrate.add_argument(
+        "--fsync", action="store_true",
+        help="write the destination with synchronous=FULL",
+    )
+    pc_migrate.set_defaults(func=cmd_migrate_store)
 
     p_paper = sub.add_parser(
         "paper-tables",

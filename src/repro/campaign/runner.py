@@ -55,6 +55,7 @@ import time
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.campaign.backends import JsonlBackend, ResultBackend, open_store
 from repro.campaign.registry import Registry, get_registry
 from repro.circuits.generators import BENCHMARK_BUILDERS
 from repro.campaign.store import SCHEMA_VERSION, ResultStore
@@ -162,6 +163,10 @@ class CampaignResult:
     n_run: int
     n_skipped: int
     store_path: Path | None
+    #: Tasks another runner process claimed first (multi-runner sqlite
+    #: campaigns only): not computed here, recovered from the store
+    #: scan where already committed.
+    n_external: int = 0
 
     @property
     def n_failed(self) -> int:
@@ -336,23 +341,26 @@ def run_task_with_retries(
 
 def run_campaign(
     tasks: Sequence[TaskSpec],
-    store: ResultStore | str | Path | None = None,
+    store: ResultBackend | ResultStore | str | Path | None = None,
     workers: int = 1,
     timeout: float | None = None,
     resume: bool = True,
     progress: Callable[[str], None] | None = None,
     policy: RetryPolicy | None = None,
     chaos=None,
+    backend: str = "auto",
 ) -> CampaignResult:
     """Run a task grid with checkpointing, resume and fault tolerance.
 
     Args:
         tasks: Grid cells from :func:`expand_grid` (or hand-built).
-        store: JSONL checkpoint target; ``None`` runs purely in memory.
-            A path gets a store the campaign opens and closes itself; a
-            :class:`ResultStore` instance stays caller-owned (so its
-            ``fsync``/``lock`` configuration and handle lifetime are
-            the caller's).
+        store: Checkpoint target; ``None`` runs purely in memory.  A
+            path gets a backend the campaign opens and closes itself
+            (``backend`` selects which); a backend instance — or a bare
+            :class:`ResultStore`, wrapped in a
+            :class:`~repro.campaign.backends.jsonl.JsonlBackend` — stays
+            caller-owned (so its ``fsync``/``lock`` configuration and
+            handle lifetime are the caller's).
         workers: Pool size; ``1`` executes inline in this process,
             ``>1`` fans out over the supervised worker layer
             (:mod:`repro.campaign.supervisor`) with watchdog kills,
@@ -364,11 +372,24 @@ def run_campaign(
         progress: Optional sink for one-line progress messages.
         policy: Retry/backoff/watchdog knobs (:class:`RetryPolicy`).
         chaos: Fault-injection hook for the chaos test harness
-            (:class:`repro.campaign.chaos.ChaosPolicy`).
+            (:class:`repro.campaign.chaos.ChaosPolicy`; its ``storage``
+            script reaches the backend of a campaign-owned store).
+        backend: Store backend name for path targets — ``"jsonl"``,
+            ``"sqlite"`` or ``"auto"`` (detect from the file).
+
+    On a claiming backend (sqlite) the pending tasks are registered
+    and then *claimed* one by one, so N independent runner processes
+    pointed at one store split the grid between them: a cell another
+    runner claimed first is skipped here (counted in ``n_external``)
+    and its record recovered from the final store scan.
     """
-    owns_store = store is not None and not isinstance(store, ResultStore)
+    owns_store = isinstance(store, (str, Path))
     if owns_store:
-        store = ResultStore(store)
+        store = open_store(
+            store, backend, chaos=getattr(chaos, "storage", None)
+        )
+    elif isinstance(store, ResultStore):
+        store = JsonlBackend(store=store, chaos=getattr(chaos, "storage", None))
     policy = policy or RetryPolicy()
     say = progress or (lambda _line: None)
 
@@ -385,7 +406,15 @@ def run_campaign(
         say(f"resume: {n_skipped} task(s) already in "
             f"{store.path if store else 'store'}, {len(pending)} to run")
 
+    claiming = store is not None and store.supports_claiming
+    if claiming and pending:
+        store.register(
+            [spec.task_id for spec in pending], force=not resume
+        )
+
     fresh: dict[str, dict] = {}
+    external: list[TaskSpec] = []
+    scanned: dict[str, dict] = {}
 
     def finish(record: dict) -> None:
         fresh[record["task_id"]] = record
@@ -396,10 +425,17 @@ def run_campaign(
         say(f"[{len(fresh)}/{len(pending)}] {record['task_id']}: "
             f"{status} in {record['runtime_s']:.2f}s{extra}")
 
+    def lost_claim(spec: TaskSpec) -> None:
+        external.append(spec)
+        say(f"{spec.task_id}: claimed by another runner, skipping")
+
     try:
         if pending:
             if workers <= 1:
                 for spec in pending:
+                    if claiming and not store.claim(spec.task_id):
+                        lost_claim(spec)
+                        continue
                     finish(
                         run_task_with_retries(spec, timeout, policy, chaos)
                     )
@@ -413,17 +449,33 @@ def run_campaign(
                     policy=policy,
                     chaos=chaos,
                     emit=finish,
+                    claim=store.claim if claiming else None,
+                    external=lost_claim,
                 )
     finally:
+        if claiming:
+            store.release()  # hand back claims an exception left behind
+        # Cells another runner claimed are (usually) in the store by
+        # now; recover their records from a final scan.  A cell still
+        # being computed elsewhere is simply absent from this result.
+        if external and store is not None:
+            scanned = store.latest()
         if owns_store and store is not None:
             store.close()
 
-    records = [
-        fresh.get(t.task_id) or done[t.task_id] for t in tasks
-    ]
+    records = []
+    for t in tasks:
+        record = (
+            fresh.get(t.task_id)
+            or done.get(t.task_id)
+            or scanned.get(t.task_id)
+        )
+        if record is not None:
+            records.append(record)
     return CampaignResult(
         records=records,
-        n_run=len(pending),
+        n_run=len(fresh),
         n_skipped=n_skipped,
         store_path=store.path if store is not None else None,
+        n_external=len(external),
     )

@@ -42,8 +42,11 @@ is common to both.
 
 ``runtime_s``, ``attempt`` and ``failures`` are the nondeterministic
 fields (they depend on wall-clock and on which injected/real faults a
-run happened to survive); :func:`strip_volatile` removes them so stores
-from different runs/worker counts/fault histories compare equal.
+run happened to survive); the storage provenance stamps ``backend``
+and ``store_schema`` (added by the pluggable backends of
+:mod:`repro.campaign.backends`) likewise differ between stores that
+hold the same results.  :func:`strip_volatile` removes them all so
+stores from different runs/worker counts/backends compare equal.
 """
 
 from __future__ import annotations
@@ -61,12 +64,32 @@ except ImportError:  # pragma: no cover - platform dependent
 SCHEMA_VERSION = 2
 
 #: Fields that legitimately differ between runs that computed the same
-#: results: wall-clock, and the retry/fault-injection history.
-VOLATILE_FIELDS: tuple[str, ...] = ("runtime_s", "attempt", "failures")
+#: results: wall-clock, the retry/fault-injection history, and the
+#: storage backend the record happens to live in.
+VOLATILE_FIELDS: tuple[str, ...] = (
+    "runtime_s", "attempt", "failures", "backend", "store_schema",
+)
 
 
 class StoreLockedError(RuntimeError):
-    """Another campaign holds the append lock on this store file."""
+    """Another campaign holds the append lock on this store file.
+
+    ``pid`` is the holder's process id when it could be discovered
+    (via the sidecar ``<store>.lock`` pidfile the lock owner writes);
+    the message carries a retry hint either way.
+    """
+
+    def __init__(self, path: "str | Path", pid: int | None = None) -> None:
+        self.path = Path(path)
+        self.pid = pid
+        holder = f"PID {pid}" if pid is not None else "another process"
+        super().__init__(
+            f"{path}: store is locked by {holder} (two JSONL writers "
+            "would interleave torn records); wait for that campaign to "
+            "finish and retry, or share the store through the sqlite "
+            "backend (--backend sqlite), which coordinates multiple "
+            "runners with atomic task claims"
+        )
 
 
 class ResultStore:
@@ -86,8 +109,22 @@ class ResultStore:
         self.lock = lock
         self._tail_healed = False
         self._handle: IO[str] | None = None
+        self._owns_pidfile = False
 
     # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def _pidfile(self) -> Path:
+        """Sidecar advertising the lock holder's PID (best-effort; the
+        flock on the store file itself is the actual exclusion)."""
+        return self.path.with_name(self.path.name + ".lock")
+
+    def _lock_holder(self) -> int | None:
+        """The PID the current lock holder advertised, if readable."""
+        try:
+            return int(self._pidfile.read_text().strip())
+        except (OSError, ValueError):
+            return None
 
     def _heal_torn_tail(self) -> None:
         """Drop a trailing partial line (mid-write kill) before the
@@ -104,6 +141,13 @@ class ResultStore:
             with self.path.open("r+b") as raw:
                 raw.truncate(keep)
 
+    def heal(self) -> None:
+        """Re-run torn-tail healing on demand (backends call this
+        between append retries after a failed/partial write, which can
+        leave a fresh torn tail at any point in the store's life)."""
+        self._tail_healed = False
+        self._heal_torn_tail()
+
     def _ensure_handle(self) -> IO[str]:
         """The persistent append handle (healed, opened and locked on
         first use; transparently reopened after :meth:`close`)."""
@@ -116,11 +160,14 @@ class ResultStore:
             try:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
             except OSError:
+                holder = self._lock_holder()
                 handle.close()
-                raise StoreLockedError(
-                    f"{self.path}: store is locked by another campaign "
-                    "(two writers would interleave torn records)"
-                ) from None
+                raise StoreLockedError(self.path, holder) from None
+            try:
+                self._pidfile.write_text(f"{os.getpid()}\n")
+                self._owns_pidfile = True
+            except OSError:  # pragma: no cover - pidfile is best-effort
+                pass
         self._handle = handle
         return handle
 
@@ -130,6 +177,12 @@ class ResultStore:
             if not self._handle.closed:
                 self._handle.close()
             self._handle = None
+        if self._owns_pidfile:
+            self._owns_pidfile = False
+            try:
+                self._pidfile.unlink()
+            except OSError:  # pragma: no cover - pidfile is best-effort
+                pass
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -149,7 +202,9 @@ class ResultStore:
         """Append one record and flush (the checkpoint write); with
         ``fsync=True`` also force it to stable storage."""
         handle = self._ensure_handle()
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.write(
+            json.dumps(record, sort_keys=True, ensure_ascii=False) + "\n"
+        )
         handle.flush()
         if self.fsync:
             os.fsync(handle.fileno())
@@ -159,22 +214,26 @@ class ResultStore:
     def load(self) -> list[dict]:
         """All parseable records, in file order.
 
-        A torn trailing line (interrupted write) is skipped; a corrupt
-        line in the *middle* of the file raises, because that means the
-        store was edited, not killed.
+        A torn trailing line (interrupted write) is skipped — including
+        one truncated *inside* a multi-byte UTF-8 sequence, which is
+        why decoding happens per line, on bytes.  A corrupt line in the
+        *middle* of the file raises, because that means the store was
+        edited, not killed.
         """
         if not self.path.exists():
             return []
         records: list[dict] = []
-        text = self.path.read_text()
-        terminated = text.endswith("\n")
-        lines = text.splitlines()
-        for k, line in enumerate(lines):
-            if not line.strip():
+        data = self.path.read_bytes()
+        terminated = data.endswith(b"\n")
+        lines = data.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()  # the terminator itself, not an empty record
+        for k, raw in enumerate(lines):
+            if not raw.strip():
                 continue
             try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError:
+                records.append(json.loads(raw.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError):
                 # Only an *unterminated* final line is the kill
                 # signature; a newline-terminated corrupt line anywhere
                 # means the store was edited.
@@ -195,9 +254,11 @@ class ResultStore:
 
 def strip_volatile(records: Iterable[dict]) -> list[dict]:
     """Drop nondeterministic fields (:data:`VOLATILE_FIELDS` —
-    ``runtime_s`` plus the retry provenance ``attempt``/``failures``)
-    so stores from different runs compare equal; sorted by task id for
-    set-like comparison regardless of completion order."""
+    ``runtime_s``, the retry provenance ``attempt``/``failures``, and
+    the storage provenance ``backend``/``store_schema``) so stores
+    from different runs — and different backends — compare equal;
+    sorted by task id for set-like comparison regardless of completion
+    order."""
     stripped = []
     for record in records:
         record = dict(record)

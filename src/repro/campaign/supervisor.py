@@ -87,6 +87,10 @@ class _TaskState:
     hangs: int = 0
     failures: list = dataclasses.field(default_factory=list)
     first_started: float | None = None
+    #: Whether this runner already owns the cell's store claim (claims
+    #: are taken once and survive retries — the claim is only resolved
+    #: when the final record is appended).
+    claimed: bool = False
 
 
 class _Worker:
@@ -158,9 +162,18 @@ def run_supervised(
     policy: RetryPolicy,
     chaos,
     emit: Callable[[dict], None],
+    claim: Callable[[str], bool] | None = None,
+    external: Callable[[TaskSpec], None] | None = None,
 ) -> None:
     """Run ``tasks`` on supervised workers, calling ``emit`` exactly
     once per cell with its final record (completion order).
+
+    With a ``claim`` callback (claiming store backends), each cell is
+    claimed exactly once before its first dispatch; a cell another
+    runner owns is dropped from this run and reported via ``external``
+    instead of ``emit`` — the other runner's store row is its record.
+    Retries reuse the original claim (the claim resolves only when the
+    final record is appended).
 
     See the module docstring for the failure-handling state machine;
     the knobs live on ``policy`` (:class:`RetryPolicy`).
@@ -262,6 +275,16 @@ def run_supervised(
 
             for index, worker in enumerate(pool):
                 if worker.busy is None and ready:
+                    state = states[ready.popleft().task_id]
+                    if claim is not None and not state.claimed:
+                        if not claim(state.spec.task_id):
+                            # Another runner owns this cell; its store
+                            # row is the record — nothing to emit here.
+                            n_final += 1
+                            if external is not None:
+                                external(state.spec)
+                            continue
+                        state.claimed = True
                     if not worker.process.is_alive():
                         # Died while idle (should not happen, but never
                         # strand a slot) — replace before dispatching.
@@ -269,11 +292,7 @@ def run_supervised(
                         worker = pool[index] = _Worker(
                             context, result_queue, chaos
                         )
-                    worker.dispatch(
-                        states[ready.popleft().task_id],
-                        timeout,
-                        policy.watchdog_grace,
-                    )
+                    worker.dispatch(state, timeout, policy.watchdog_grace)
 
             try:
                 pid, record = result_queue.get(timeout=_POLL_INTERVAL)

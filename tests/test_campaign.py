@@ -10,6 +10,7 @@ The three ISSUE-mandated behaviours are covered explicitly:
 """
 
 import json
+import os
 import signal
 import time
 
@@ -600,8 +601,11 @@ class TestStoreHardening:
         first = ResultStore(tmp_path / "s.jsonl")
         first.append({"task_id": "a", "status": "ok"})
         second = ResultStore(tmp_path / "s.jsonl")
-        with pytest.raises(StoreLockedError, match="locked by another"):
+        with pytest.raises(StoreLockedError, match="locked by PID") as info:
             second.append({"task_id": "b", "status": "ok"})
+        # Satellite: the error names the holding PID and a retry hint.
+        assert info.value.pid == os.getpid()
+        assert "retry" in str(info.value)
         # Readers are never blocked by the writer's lock.
         assert len(second.load()) == 1
         # Closing the first writer releases the lock.

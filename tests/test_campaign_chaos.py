@@ -21,6 +21,7 @@ write (the CI ``chaos-smoke`` job uploads them as artifacts).
 import json
 import multiprocessing
 import os
+import threading
 import time
 from pathlib import Path
 
@@ -28,12 +29,16 @@ import pytest
 
 from repro.campaign import chaos as chaos_module
 from repro.campaign import runner as runner_module
+from repro.campaign.backends import BACKENDS, open_store
 from repro.campaign.chaos import (
     ChaosEngineError,
     ChaosPolicy,
     ChaosTransientError,
+    StorageChaos,
+    hold_sqlite_write_lock,
     tear_tail,
 )
+from repro.campaign.tables import coverage_table
 from repro.campaign.runner import (
     FALLBACK_CHAINS,
     RetryPolicy,
@@ -65,6 +70,13 @@ needs_fork = pytest.mark.skipif(
 )
 
 
+def _chaos_backends() -> tuple[str, ...]:
+    """Backends the storage-chaos matrix covers; ``REPRO_CHAOS_BACKEND``
+    (the CI matrix variable) restricts a job to one of them."""
+    only = os.environ.get("REPRO_CHAOS_BACKEND")
+    return (only,) if only in BACKENDS else tuple(sorted(BACKENDS))
+
+
 @pytest.fixture(scope="module")
 def undisturbed():
     """The oracle: an uninterrupted inline run of the chaos grid."""
@@ -73,16 +85,32 @@ def undisturbed():
     return result.records
 
 
-@pytest.fixture
-def chaos_store(tmp_path, request):
+def _fresh_store_path(tmp_path, node_name, backend="jsonl") -> Path:
     """Store path for a scenario; lands in ``REPRO_CHAOS_STORE_DIR``
     when set so CI can upload the surviving stores as artifacts."""
     base = os.environ.get("REPRO_CHAOS_STORE_DIR")
     directory = Path(base) if base else tmp_path
     directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"{request.node.name}.jsonl"
-    path.unlink(missing_ok=True)  # stale stores would satisfy resume
+    suffix = "sqlite" if backend == "sqlite" else "jsonl"
+    path = directory / f"{node_name}.{suffix}"
+    # Stale stores (and sqlite WAL sidecars) would satisfy resume.
+    for stale in (path, *path.parent.glob(f"{path.name}-*")):
+        stale.unlink(missing_ok=True)
     return path
+
+
+@pytest.fixture
+def chaos_store(tmp_path, request):
+    """JSONL store path for a scenario (see :func:`_fresh_store_path`)."""
+    return _fresh_store_path(tmp_path, request.node.name)
+
+
+@pytest.fixture
+def chaos_store_factory(tmp_path, request):
+    """Per-backend store paths for the storage-chaos matrix."""
+    return lambda backend: _fresh_store_path(
+        tmp_path, request.node.name, backend
+    )
 
 
 def _record(records, task_id):
@@ -364,6 +392,156 @@ class TestStoreChaos:
         empty.write_bytes(b"")
         with pytest.raises(ValueError, match="nothing to tear"):
             tear_tail(empty)
+
+
+def _claim_kill_child(store_path):
+    """Runner killed by SIGKILL *between claim and commit* of the
+    first grid cell: it claims, then dies before computing anything."""
+    run_campaign(
+        expand_grid(GRID_CIRCUITS, GRID_CLASSES),
+        store=Path(store_path), backend="sqlite", policy=FAST,
+        chaos=ChaosPolicy({}, storage=StorageChaos(
+            {"claim": {KILL: ("kill",)}}
+        )),
+    )
+
+
+def _midtxn_kill_child(store_path):
+    """Runner killed mid-append-transaction: the result row INSERT has
+    executed but the commit never happens — WAL recovery must erase
+    it."""
+    run_campaign(
+        expand_grid(GRID_CIRCUITS, GRID_CLASSES),
+        store=Path(store_path), backend="sqlite", policy=FAST,
+        chaos=ChaosPolicy({}, storage=StorageChaos(
+            {"append": {FLAKY: ("kill",)}}
+        )),
+    )
+
+
+@pytest.mark.parametrize("backend", _chaos_backends())
+class TestStorageChaosMatrix:
+    """Storage faults the CI chaos matrix runs per backend."""
+
+    def test_enospc_disturbed_campaign_converges(
+        self, chaos_store_factory, undisturbed, backend
+    ):
+        """Two injected out-of-space failures on one cell's append are
+        absorbed by the backend's bounded-backoff retry."""
+        store_path = chaos_store_factory(backend)
+        grid = expand_grid(GRID_CIRCUITS, GRID_CLASSES)
+        result = run_campaign(
+            grid, store=store_path, backend=backend, policy=FAST,
+            chaos=ChaosPolicy({}, storage=StorageChaos(
+                {"append": {KILL: ("enospc", "enospc")}}
+            )),
+        )
+        assert result.n_failed == 0
+        assert stores_equal(result.records, undisturbed)
+        with open_store(store_path, backend, lock=False) as store:
+            assert stores_equal(
+                list(store.latest().values()), undisturbed
+            )
+            assert store.verify(repair=True)["ok"] is True
+
+    def test_exec_and_storage_chaos_combined(
+        self, chaos_store_factory, undisturbed, backend
+    ):
+        """Worker-layer faults (transient error) and storage-layer
+        faults (enospc) in one campaign still converge."""
+        store_path = chaos_store_factory(backend)
+        grid = expand_grid(GRID_CIRCUITS, GRID_CLASSES)
+        result = run_campaign(
+            grid, store=store_path, backend=backend, policy=FAST,
+            chaos=ChaosPolicy(
+                {FLAKY: ("transient", "ok")},
+                storage=StorageChaos({"append": {HANG: ("enospc",)}}),
+            ),
+        )
+        assert result.n_failed == 0
+        assert stores_equal(result.records, undisturbed)
+
+
+@needs_posix
+@needs_fork
+@pytest.mark.skipif(
+    os.environ.get("REPRO_CHAOS_BACKEND") == "jsonl",
+    reason="sqlite-specific acceptance scenario",
+)
+class TestSqliteStorageAcceptance:
+    """ISSUE acceptance: kill-between-claim-and-commit, mid-transaction
+    kill and sustained lock contention on one sqlite store; the
+    campaign resumes and renders paper tables *bit-identical* to an
+    undisturbed 1-worker JSONL run."""
+
+    def test_chaos_disturbed_sqlite_matches_undisturbed_jsonl(
+        self, tmp_path, chaos_store_factory
+    ):
+        context = multiprocessing.get_context("fork")
+        store_path = chaos_store_factory("sqlite")
+        grid = expand_grid(GRID_CIRCUITS, GRID_CLASSES)
+
+        # Undisturbed oracle: 1 worker, JSONL store.
+        oracle_path = tmp_path / "oracle.jsonl"
+        oracle = run_campaign(grid, store=oracle_path)
+        assert oracle.n_failed == 0
+
+        # Stage 1: runner SIGKILLed between claim and commit.
+        proc = context.Process(
+            target=_claim_kill_child, args=(str(store_path),)
+        )
+        proc.start(); proc.join(120)
+        assert proc.exitcode is not None and proc.exitcode < 0
+        with open_store(store_path, lock=False) as store:
+            assert store.load() == []           # claimed, never committed
+            # Opening reclaimed the dead runner's claim: every cell is
+            # pending again, nothing stuck in 'claimed'.
+            assert store.verify()["tasks"] == {"pending": len(grid)}
+
+        # Stage 2: runner SIGKILLed mid-append-transaction.
+        proc = context.Process(
+            target=_midtxn_kill_child, args=(str(store_path),)
+        )
+        proc.start(); proc.join(120)
+        assert proc.exitcode is not None and proc.exitcode < 0
+        with open_store(store_path, lock=False) as store:
+            rows = store.load()
+            # WAL recovery erased the uncommitted row; the rows that
+            # did commit before the kill are intact and complete.
+            assert FLAKY not in {r["task_id"] for r in rows}
+            assert all(r["status"] == "ok" for r in rows)
+
+        # Stage 3: finish under sustained write-lock contention.
+        ready = threading.Event()
+        holder = threading.Thread(
+            target=hold_sqlite_write_lock, args=(store_path, 0.6, ready)
+        )
+        holder.start()
+        ready.wait(10)
+        try:
+            result = run_campaign(
+                grid, store=store_path, backend="sqlite", policy=FAST
+            )
+        finally:
+            holder.join()
+        assert result.n_failed == 0
+
+        # Bit-identical convergence: same records up to volatile
+        # fields, and the rendered paper table is the same string.
+        with open_store(store_path, lock=False) as store:
+            stored = list(store.latest().values())
+            rows = store.load()
+            assert store.verify(repair=True)["ok"] is True
+        assert stores_equal(stored, oracle.records)
+        assert coverage_table(sorted(stored, key=lambda r: r["task_id"])) \
+            == coverage_table(
+                sorted(oracle.records, key=lambda r: r["task_id"])
+            )
+        # Zero duplicated, zero lost: exactly one row per grid cell
+        # across the whole disturbed history.
+        assert sorted(r["task_id"] for r in rows) == sorted(
+            t.task_id for t in grid
+        )
 
 
 class TestBackoffSchedule:
