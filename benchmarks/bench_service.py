@@ -1,0 +1,247 @@
+"""Campaign job service under concurrent load: latency + throughput.
+
+Starts the full service stack in-process — :class:`JobManager` on a
+sqlite store, the stdlib ``ThreadingHTTPServer`` API on an ephemeral
+port — then drives it with stochastic clients (Locust-style: each
+client is a thread with its own seeded RNG submitting mixed
+fault-class jobs over small registry circuits, polling status,
+paging results and scraping /metrics), asserting
+
+* every submitted job reaches ``done`` (no lost or failed jobs),
+* the store holds exactly one latest record per distinct task (the
+  shared-store dedup guarantee: overlapping grids resume, never
+  duplicate), and
+* the ``repro_service_jobs_total{state="done"}`` counter agrees with
+  the number of jobs the clients saw complete,
+
+then writes per-operation p50/p99 wall-clock and end-to-end jobs/sec
+to a schema-versioned ``BENCH_service.json`` at the repository root.
+There is no absolute latency bar — shared runners vary wildly — the
+artefact is the measured shape of the API under contention.
+
+Dual-mode: run under pytest (``pytest benchmarks/bench_service.py``)
+or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke]
+
+``--smoke`` shrinks the fleet so the bench finishes in seconds on a
+shared CI runner.
+"""
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.analysis import save_report
+from repro.analysis.report import ascii_table
+from repro.service.api import ServiceClient, create_server
+from repro.service.jobs import JobManager
+
+N_CLIENTS = 4
+JOBS_PER_CLIENT = 3
+N_CLIENTS_SMOKE = 2
+JOBS_PER_CLIENT_SMOKE = 1
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Small registry circuits only — the bench measures the service, not
+#: the engines; cells must finish in milliseconds.
+CIRCUITS = ("c17", "tmr_voter", "parity8", "rca4")
+FAULT_CLASSES = ("stuck_at", "polarity", "iddq", "stuck_open")
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile of an ascending list (q in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q / 100.0 * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def _client_run(client, rng, n_jobs, latencies, done_jobs):
+    """One stochastic client: submit, poll, page results, scrape."""
+    for _ in range(n_jobs):
+        spec = {
+            "circuits": sorted(rng.sample(CIRCUITS, rng.randint(1, 2))),
+            "fault_classes": sorted(
+                rng.sample(FAULT_CLASSES, rng.randint(1, len(FAULT_CLASSES)))
+            ),
+        }
+        status = client.submit(spec)
+        latencies["submit"].append(client.last_latency_s)
+        job_id = status["id"]
+        offset = 0
+        deadline = time.monotonic() + 120.0
+        while True:
+            status = client.status(job_id)
+            latencies["status"].append(client.last_latency_s)
+            page = client.results(job_id, offset=offset)
+            latencies["results"].append(client.last_latency_s)
+            offset = page["next_offset"]
+            if status["state"] in ("done", "failed", "cancelled"):
+                break
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} stuck in {status['state']}")
+            time.sleep(0.01 * rng.random())
+        client.metric_value("repro_service_jobs_total", state="done")
+        latencies["metrics"].append(client.last_latency_s)
+        done_jobs.append((job_id, status["state"]))
+
+
+def run_load(n_clients=N_CLIENTS, jobs_per_client=JOBS_PER_CLIENT):
+    """Drive the in-process service with a stochastic client fleet."""
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        manager = JobManager(tmp_dir, job_workers=2).start()
+        server = create_server(manager, port=0)
+        server_thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        server_thread.start()
+        host, port = server.server_address[:2]
+        base_url = f"http://{host}:{port}"
+        try:
+            probe = ServiceClient(base_url)
+            # The registry is process-global; consecutive loads (the
+            # pytest timing re-run) accumulate, so assert the delta.
+            base_done = probe.metric_value(
+                "repro_service_jobs_total", state="done"
+            ) or 0.0
+            latencies = {
+                op: [] for op in ("submit", "status", "results", "metrics")
+            }
+            done_jobs, errors = [], []
+
+            def worker(seed):
+                try:
+                    _client_run(
+                        ServiceClient(base_url), random.Random(seed),
+                        jobs_per_client, latencies, done_jobs,
+                    )
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    errors.append(exc)
+
+            t0 = time.perf_counter()
+            threads = [
+                threading.Thread(target=worker, args=(1000 + i,))
+                for i in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall_s = time.perf_counter() - t0
+
+            if errors:
+                raise errors[0]
+            n_jobs = n_clients * jobs_per_client
+            states = [state for _, state in done_jobs]
+            assert states == ["done"] * n_jobs, f"lost/failed jobs: {states}"
+
+            jobs_done = (probe.metric_value(
+                "repro_service_jobs_total", state="done"
+            ) or 0.0) - base_done
+            assert jobs_done == float(n_jobs), (
+                f"metrics saw {jobs_done} done jobs, clients saw {n_jobs}"
+            )
+
+            # Shared-store dedup: overlapping grids resume, never fork.
+            final = probe.results(done_jobs[-1][0], offset=0)
+            assert final["complete"], "terminal job with incomplete results"
+            task_ids = [r["task_id"] for r in final["records"]]
+            assert len(task_ids) == len(set(task_ids)), "duplicated rows"
+        finally:
+            server.shutdown()
+            server_thread.join(5.0)
+            server.server_close()
+            manager.stop(drain=False)
+
+        results = []
+        for op in ("submit", "status", "results", "metrics"):
+            values = sorted(latencies[op])
+            results.append({
+                "op": op,
+                "n": len(values),
+                "p50_ms": percentile(values, 50) * 1e3,
+                "p99_ms": percentile(values, 99) * 1e3,
+            })
+        return {
+            "n_clients": n_clients,
+            "n_jobs": n_jobs,
+            "wall_s": wall_s,
+            "jobs_per_s": n_jobs / wall_s,
+            "ops": results,
+        }
+
+
+def format_report(summary):
+    rows = [
+        (r["op"], r["n"], f"{r['p50_ms']:.2f}", f"{r['p99_ms']:.2f}")
+        for r in summary["ops"]
+    ]
+    return "\n".join([
+        "Campaign job service under concurrent stochastic load",
+        ascii_table(("op", "requests", "p50 ms", "p99 ms"), rows),
+        "",
+        f"{summary['n_clients']} clients x "
+        f"{summary['n_jobs'] // summary['n_clients']} mixed fault-class "
+        f"jobs: {summary['n_jobs']} jobs in {summary['wall_s']:.2f}s "
+        f"({summary['jobs_per_s']:.2f} jobs/s end-to-end).",
+        "Every job reached done, the jobs_total counter matches the",
+        "client count, and the shared store holds no duplicated rows.",
+    ])
+
+
+def write_record(summary, path=RECORD_PATH):
+    record = {
+        "benchmark": "service",
+        "schema_version": 1,
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "python": sys.version.split()[0],
+        "workload": "stochastic HTTP clients submitting mixed fault-class "
+                    "jobs, polling status/results, scraping /metrics",
+        "summary": {k: v for k, v in summary.items() if k != "ops"},
+        "records": summary["ops"],
+    }
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+def test_service_load(once):
+    summary = run_load()
+    report = format_report(summary)
+    print("\n" + report)
+    save_report("service", report)
+    write_record(summary)
+    once(lambda: run_load(N_CLIENTS_SMOKE, JOBS_PER_CLIENT_SMOKE))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="shrink the fleet for a seconds-long CI smoke run",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=RECORD_PATH,
+        help="perf-record path (default: repo-root BENCH_service.json)",
+    )
+    args = parser.parse_args(argv)
+    summary = (
+        run_load(N_CLIENTS_SMOKE, JOBS_PER_CLIENT_SMOKE)
+        if args.smoke
+        else run_load()
+    )
+    print(format_report(summary))
+    path = write_record(summary, args.out)
+    print(f"\nperf record -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

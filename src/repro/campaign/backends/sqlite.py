@@ -136,6 +136,12 @@ class SqliteBackend:
         self.busy_timeout_s = busy_timeout_s
         self.claim_lease_s = claim_lease_s
         self._conn: sqlite3.Connection | None = None
+        #: Task ids THIS instance claimed and has not yet resolved —
+        #: ``release`` hands back exactly these, not everything the PID
+        #: owns, so several backend instances in one process (the job
+        #: service runs one campaign per worker thread) cannot release
+        #: each other's in-flight claims.
+        self._claimed: set[str] = set()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -292,23 +298,36 @@ class SqliteBackend:
             )
             return cur.rowcount == 1
         claimed = self._with_retry(txn)
+        if claimed:
+            self._claimed.add(task_id)
         if claimed and self.chaos is not None:
             # May SIGKILL: the crash-between-claim-and-commit scenario.
             self.chaos.claim_fault(task_id)
         return claimed
 
     def release(self) -> None:
-        """Give back every claim this process still holds (clean
+        """Give back every claim this *instance* still holds (clean
         shutdown; a SIGKILLed runner's claims go stale instead and are
-        re-queued on the next open)."""
+        re-queued on the next open).  Scoped to the instance's own
+        claims — not the whole PID — because the job service runs many
+        campaigns, each with its own backend instance, in one process."""
         conn = self._connection()
-        self._with_retry(
-            lambda: conn.execute(
-                "UPDATE tasks SET status='pending', owner_pid=NULL, "
-                "claimed_at=NULL WHERE status='claimed' AND owner_pid=?",
-                (os.getpid(),),
-            )
-        )
+        pending = sorted(self._claimed)
+        self._claimed.clear()
+
+        def txn() -> None:
+            conn.execute("BEGIN IMMEDIATE")
+            for task_id in pending:
+                conn.execute(
+                    "UPDATE tasks SET status='pending', owner_pid=NULL, "
+                    "claimed_at=NULL WHERE task_id=? AND status='claimed' "
+                    "AND owner_pid=?",
+                    (task_id, os.getpid()),
+                )
+            conn.execute("COMMIT")
+
+        if pending:
+            self._with_retry(txn)
 
     def _claim_is_stale(self, pid, claimed_at) -> bool:
         """A claim is stale when its owner is provably dead, or — where
@@ -398,6 +417,7 @@ class SqliteBackend:
                 raise
 
         self._with_retry(txn)
+        self._claimed.discard(task_id)  # resolved with the result row
 
     # -- reading -----------------------------------------------------------
 

@@ -9,7 +9,18 @@ Subcommands::
     repro experiment    single paper artifacts (Table I-III, Fig. 3-5, V-C)
     repro demo          the narrated walkthroughs behind ``examples/``
     repro faults        the fault-universe registry (list / census)
-    repro campaign      store maintenance (verify-store / migrate-store)
+    repro campaign      store maintenance (list / verify-store / migrate-store)
+    repro serve         the async job service (docs/SERVICE.md)
+    repro cache stats   in-process memo counters (device/table/compile)
+
+``list``, ``campaign list`` and ``faults census`` take ``--json`` for
+machine-readable output (what API clients and the load harness consume
+instead of scraping the human tables).
+
+``run`` and ``paper-tables`` shut down gracefully on SIGTERM/SIGINT:
+the campaign stops between cells, releases its sqlite claims and
+flushes the store (exit code 130), so a rerun resumes instead of
+waiting out stale leases.
 
 Copy-paste invocations for each paper table live in
 ``docs/CAMPAIGNS.md``; the end-to-end walkthrough in
@@ -164,6 +175,8 @@ def _resolve_store(args, default: str) -> str:
 
 
 def _run_grid(args, circuits, fault_classes, store_path) -> int:
+    from repro.campaign.supervisor import graceful_shutdown
+
     grid = expand_grid(
         circuits, fault_classes, engine=args.engine
     )
@@ -173,7 +186,7 @@ def _run_grid(args, circuits, fault_classes, store_path) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 3
     try:
-        with store:
+        with store, graceful_shutdown() as stop:
             result = run_campaign(
                 grid,
                 store=store,
@@ -182,6 +195,7 @@ def _run_grid(args, circuits, fault_classes, store_path) -> int:
                 resume=not args.no_resume,
                 progress=lambda line: print(line, file=sys.stderr),
                 policy=_retry_policy(args),
+                should_stop=stop.is_set,
             )
     except StoreLockedError as exc:
         # JSONL locks lazily, on the first append.
@@ -195,6 +209,10 @@ def _run_grid(args, circuits, fault_classes, store_path) -> int:
         print(f"\nstore: {result.store_path} "
               f"({result.n_run} run, {result.n_skipped} resumed, "
               f"{result.n_failed} failed{external})")
+    if result.interrupted:
+        print("interrupted: claims released, store flushed — rerun to "
+              "resume", file=sys.stderr)
+        return 130
     # Exit nonzero whenever any cell did not finish ok (error, timeout
     # or poisoned) so CI grids actually gate on campaign health.
     return 1 if result.n_failed else 0
@@ -204,30 +222,83 @@ def _run_grid(args, circuits, fault_classes, store_path) -> int:
 # Subcommands
 # ---------------------------------------------------------------------------
 
+def registry_listing(tags=None) -> dict:
+    """Machine-readable registry listing (the ``--json`` payload shared
+    by ``repro list`` and ``repro campaign list``)."""
+    registry = get_registry()
+    circuits = []
+    for name in registry.names(tags=tags):
+        spec = registry.spec(name)
+        stats = spec.stats()
+        circuits.append({
+            "name": name,
+            "gates": stats["gates"],
+            "inputs": stats["inputs"],
+            "outputs": stats["outputs"],
+            "depth": stats["depth"],
+            "tags": sorted(spec.all_tags()),
+        })
+    return {
+        "circuits": circuits,
+        "fault_classes": sorted(TASK_RUNNERS),
+        "default_fault_classes": list(DEFAULT_FAULT_CLASSES),
+    }
+
+
 def cmd_list(args) -> int:
     from repro.analysis.report import ascii_table
 
-    registry = get_registry()
-    names = registry.names(tags=args.tag)
-    rows = []
-    for name in names:
-        spec = registry.spec(name)
-        stats = spec.stats()
-        rows.append(
-            (
-                name,
-                stats["gates"],
-                stats["inputs"],
-                stats["outputs"],
-                stats["depth"],
-                " ".join(sorted(spec.all_tags())),
-            )
+    listing = registry_listing(tags=args.tag)
+    if getattr(args, "json", False):
+        print(json.dumps(listing, indent=1, sort_keys=True))
+        return 0
+    rows = [
+        (
+            c["name"], c["gates"], c["inputs"], c["outputs"], c["depth"],
+            " ".join(c["tags"]),
         )
+        for c in listing["circuits"]
+    ]
     print(ascii_table(
         ("circuit", "gates", "PIs", "POs", "depth", "tags"), rows
     ))
     print(f"\nfault classes: {' '.join(DEFAULT_FAULT_CLASSES)}")
     return 0
+
+
+def cmd_cache_stats(args) -> int:
+    """In-process cache counters (device/table models + compile memo),
+    from the same source the ``/metrics`` gauges render."""
+    from repro.service.metrics import cache_stats
+
+    stats = cache_stats()
+    if getattr(args, "json", False):
+        print(json.dumps(stats, indent=1, sort_keys=True))
+        return 0
+    from repro.analysis.report import ascii_table
+
+    rows = [
+        (cache, *(counters.get(k, 0) for k in ("hits", "misses")),
+         counters.get("instance_hits", ""), counters.get("evictions", ""))
+        for cache, counters in sorted(stats.items())
+    ]
+    print(ascii_table(
+        ("cache", "hits", "misses", "instance_hits", "evictions"), rows
+    ))
+    print("\n(counters are per-process; the service exposes them live "
+          "as repro_cache_events on /metrics)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service.api import serve_forever
+
+    return serve_forever(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        job_workers=args.job_workers,
+    )
 
 
 def _select_circuits(args) -> list[str]:
@@ -282,6 +353,8 @@ def cmd_report(args) -> int:
 
 
 def cmd_paper_tables(args) -> int:
+    from repro.campaign.supervisor import graceful_shutdown
+
     grid = expand_grid(
         _select_circuits(args) or list(PAPER_SUITE),
         args.fault_classes or DEFAULT_FAULT_CLASSES,
@@ -291,7 +364,7 @@ def cmd_paper_tables(args) -> int:
         with open_store(
             _resolve_store(args, PAPER_STORE), args.backend,
             fsync=args.fsync,
-        ) as store:
+        ) as store, graceful_shutdown() as stop:
             result = run_campaign(
                 grid,
                 store=store,
@@ -300,10 +373,15 @@ def cmd_paper_tables(args) -> int:
                 resume=not args.no_resume,
                 progress=lambda line: print(line, file=sys.stderr),
                 policy=_retry_policy(args),
+                should_stop=stop.is_set,
             )
     except StoreLockedError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
+    if result.interrupted:
+        print("interrupted: claims released, store flushed — rerun to "
+              "resume", file=sys.stderr)
+        return 130
     print("Section 5 coverage study: "
           "classic stuck-at tests vs CP fault models")
     print(coverage_table(result.records))
@@ -401,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="list registered circuits and fault classes"
     )
     p_list.add_argument("--tag", nargs="+", default=None)
+    p_list.add_argument(
+        "--json", action="store_true",
+        help="machine-readable listing (what API clients consume)",
+    )
     p_list.set_defaults(func=cmd_list)
 
     p_run = sub.add_parser(
@@ -441,6 +523,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_sub = p_campaign.add_subparsers(
         dest="campaign_command", required=True
     )
+    pc_list = campaign_sub.add_parser(
+        "list",
+        help="list registered circuits and fault classes "
+             "(alias of 'repro list')",
+    )
+    pc_list.add_argument("--tag", nargs="+", default=None)
+    pc_list.add_argument(
+        "--json", action="store_true",
+        help="machine-readable listing (what API clients consume)",
+    )
+    pc_list.set_defaults(func=cmd_list)
     pc_verify = campaign_sub.add_parser(
         "verify-store",
         help="checksum/claim/quarantine census of a store "
@@ -524,7 +617,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--universes", nargs="+", default=None, metavar="NAME",
         help="restrict the census to these universes (default: all)",
     )
+    pf_census.add_argument(
+        "--json", action="store_true",
+        help="machine-readable census (what API clients and the load "
+             "harness consume)",
+    )
     pf_census.set_defaults(func=cmd_faults_census)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async campaign job service (docs/SERVICE.md)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8089, help="bind port (default 8089)"
+    )
+    p_serve.add_argument(
+        "--state-dir", default="service_state", metavar="DIR",
+        help="job specs + the shared sqlite store live here; a restart "
+             "re-attaches and resumes unfinished jobs",
+    )
+    p_serve.add_argument(
+        "--job-workers", type=int, default=2, metavar="N",
+        help="concurrent campaigns (worker threads; default 2)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="in-process cache tools (device/table models, compile memo)",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    pc_stats = cache_sub.add_parser(
+        "stats",
+        help="hit/miss counters of the model caches and the "
+             "compile_network memo",
+    )
+    pc_stats.add_argument(
+        "--json", action="store_true", help="machine-readable counters"
+    )
+    pc_stats.set_defaults(func=cmd_cache_stats)
 
     return parser
 

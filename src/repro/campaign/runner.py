@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import dataclasses
 import signal
+import threading
 import time
 from pathlib import Path
 from typing import Callable, Sequence
@@ -62,11 +63,38 @@ from repro.campaign.store import SCHEMA_VERSION, ResultStore
 from repro.campaign.tasks import DEFAULT_FAULT_CLASSES, run_fault_class
 from repro.logic.bench_format import parse_bench
 from repro.logic.network import Network
+from repro.service.metrics import counter, histogram
 
 #: Whether the in-worker soft timeout is available.  Module-level so
 #: tests can simulate SIGALRM-less platforms (the supervisor's watchdog
 #: is then the only timeout enforcement).
 _HAS_SIGALRM = hasattr(signal, "SIGALRM")
+
+#: Live campaign instrumentation (see docs/SERVICE.md for the
+#: catalogue).  Declared here — not in the service layer — so every
+#: campaign entry point (CLI, job API, direct ``run_campaign`` calls)
+#: feeds the same process-wide registry.  Counters are incremented on
+#: the *parent* side of the supervised path (the ``finish`` emit), so
+#: worker subprocesses never need to ship metrics across processes.
+TASKS_TOTAL = counter(
+    "repro_campaign_tasks_total",
+    "Finished campaign cells by final record status",
+    ("status",),
+)
+TASKS_RESUMED = counter(
+    "repro_campaign_tasks_resumed_total",
+    "Cells skipped because the store already holds an ok record",
+)
+TASK_FAILURES = counter(
+    "repro_campaign_task_failures_total",
+    "Non-final cell failures by kind (transient/crash/hang/engine)",
+    ("kind",),
+)
+TASK_RUNTIME = histogram(
+    "repro_campaign_task_runtime_seconds",
+    "Cell wall-clock by fault class and the engine that produced it",
+    ("fault_class", "engine"),
+)
 
 
 class TransientTaskError(RuntimeError):
@@ -167,6 +195,11 @@ class CampaignResult:
     #: campaigns only): not computed here, recovered from the store
     #: scan where already committed.
     n_external: int = 0
+    #: Whether the campaign stopped early because its ``should_stop``
+    #: hook fired (cooperative cancel / graceful shutdown).  Unfinished
+    #: cells are simply absent from ``records`` — the store stays
+    #: resumable.
+    interrupted: bool = False
 
     @property
     def n_failed(self) -> int:
@@ -253,7 +286,14 @@ def execute_task(
     }
     chain = FALLBACK_CHAINS.get(spec.engine, (spec.engine,))
     failures: list[dict] = []
-    use_alarm = timeout is not None and _HAS_SIGALRM
+    # SIGALRM handlers can only be installed from the main thread; the
+    # job service runs inline campaigns on worker *threads*, where the
+    # soft timeout silently degrades to the caller's cancel/watchdog.
+    use_alarm = (
+        timeout is not None
+        and _HAS_SIGALRM
+        and threading.current_thread() is threading.main_thread()
+    )
     previous = None
     start = time.perf_counter()
     try:
@@ -349,6 +389,7 @@ def run_campaign(
     policy: RetryPolicy | None = None,
     chaos=None,
     backend: str = "auto",
+    should_stop: Callable[[], bool] | None = None,
 ) -> CampaignResult:
     """Run a task grid with checkpointing, resume and fault tolerance.
 
@@ -376,6 +417,11 @@ def run_campaign(
             script reaches the backend of a campaign-owned store).
         backend: Store backend name for path targets — ``"jsonl"``,
             ``"sqlite"`` or ``"auto"`` (detect from the file).
+        should_stop: Cooperative-cancel hook, polled between cells (and
+            every supervisor tick).  Once it returns True no new cell
+            is started, in-flight supervised workers are killed, claims
+            are released and the result comes back with
+            ``interrupted=True`` — the store is left resumable.
 
     On a claiming backend (sqlite) the pending tasks are registered
     and then *claimed* one by one, so N independent runner processes
@@ -403,6 +449,7 @@ def run_campaign(
     pending = [t for t in tasks if t.task_id not in done]
     n_skipped = len(tasks) - len(pending)
     if n_skipped:
+        TASKS_RESUMED.inc(n_skipped)
         say(f"resume: {n_skipped} task(s) already in "
             f"{store.path if store else 'store'}, {len(pending)} to run")
 
@@ -421,6 +468,13 @@ def run_campaign(
         if store is not None:
             store.append(record)
         status = record["status"]
+        TASKS_TOTAL.labels(status=status).inc()
+        TASK_RUNTIME.labels(
+            fault_class=record.get("fault_class", ""),
+            engine=record.get("engine_used", record.get("engine", "")),
+        ).observe(record.get("runtime_s", 0.0))
+        for failure in record.get("failures", ()):
+            TASK_FAILURES.labels(kind=failure.get("kind", "unknown")).inc()
         extra = "" if status == "ok" else f" ({record.get('error', '')})"
         say(f"[{len(fresh)}/{len(pending)}] {record['task_id']}: "
             f"{status} in {record['runtime_s']:.2f}s{extra}")
@@ -429,10 +483,14 @@ def run_campaign(
         external.append(spec)
         say(f"{spec.task_id}: claimed by another runner, skipping")
 
+    interrupted = False
     try:
         if pending:
             if workers <= 1:
                 for spec in pending:
+                    if should_stop is not None and should_stop():
+                        interrupted = True
+                        break
                     if claiming and not store.claim(spec.task_id):
                         lost_claim(spec)
                         continue
@@ -442,7 +500,7 @@ def run_campaign(
             else:
                 from repro.campaign.supervisor import run_supervised
 
-                run_supervised(
+                interrupted = run_supervised(
                     pending,
                     workers=workers,
                     timeout=timeout,
@@ -451,7 +509,11 @@ def run_campaign(
                     emit=finish,
                     claim=store.claim if claiming else None,
                     external=lost_claim,
+                    should_stop=should_stop,
                 )
+        if interrupted:
+            say(f"interrupted: {len(fresh)}/{len(pending)} cell(s) "
+                "finished; store left resumable")
     finally:
         if claiming:
             store.release()  # hand back claims an exception left behind
@@ -478,4 +540,5 @@ def run_campaign(
         n_skipped=n_skipped,
         store_path=store.path if store is not None else None,
         n_external=len(external),
+        interrupted=interrupted,
     )

@@ -36,14 +36,16 @@ undisturbed single-worker run.
 from __future__ import annotations
 
 import collections
+import contextlib
 import dataclasses
 import heapq
 import multiprocessing
 import os
 import queue as queue_module
 import signal
+import threading
 import time
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.campaign.runner import (
     RetryPolicy,
@@ -164,7 +166,8 @@ def run_supervised(
     emit: Callable[[dict], None],
     claim: Callable[[str], bool] | None = None,
     external: Callable[[TaskSpec], None] | None = None,
-) -> None:
+    should_stop: Callable[[], bool] | None = None,
+) -> bool:
     """Run ``tasks`` on supervised workers, calling ``emit`` exactly
     once per cell with its final record (completion order).
 
@@ -174,6 +177,13 @@ def run_supervised(
     instead of ``emit`` — the other runner's store row is its record.
     Retries reuse the original claim (the claim resolves only when the
     final record is appended).
+
+    ``should_stop`` is the cooperative-cancel hook, polled once per
+    event-loop tick: when it fires, dispatch stops, in-flight workers
+    are killed (their cells emit nothing — a resume recomputes them)
+    and the call returns ``True`` instead of ``False``.  The caller
+    (:func:`repro.campaign.runner.run_campaign`) then releases store
+    claims and flushes/closes the store in its ``finally``.
 
     See the module docstring for the failure-handling state machine;
     the knobs live on ``policy`` (:class:`RetryPolicy`).
@@ -266,8 +276,16 @@ def run_supervised(
         _Worker(context, result_queue, chaos)
         for _ in range(max(1, min(workers, len(tasks))))
     ]
+    interrupted = False
     try:
         while n_final < len(states):
+            if should_stop is not None and should_stop():
+                # Wind down: no new dispatches, kill in-flight workers
+                # (their cells stay unfinished — a resume recomputes
+                # them), and let the caller release claims and flush
+                # the store in its ``finally``.
+                interrupted = True
+                break
             now = time.monotonic()
             while delayed and delayed[0][0] <= now:
                 _, _, spec = heapq.heappop(delayed)
@@ -326,5 +344,51 @@ def run_supervised(
                     handle_hang(state, timeout + policy.watchdog_grace)
     finally:
         for worker in pool:
-            worker.shutdown()
+            if interrupted and worker.busy is not None:
+                worker.kill()
+            else:
+                worker.shutdown()
         result_queue.close()
+    return interrupted
+
+
+@contextlib.contextmanager
+def graceful_shutdown(
+    signals: tuple[int, ...] = (signal.SIGTERM, signal.SIGINT),
+) -> Iterator[threading.Event]:
+    """Turn SIGTERM/SIGINT into a cooperative campaign stop.
+
+    Yields a :class:`threading.Event`; pass ``event.is_set`` as
+    ``run_campaign``'s ``should_stop``.  The first signal sets the
+    event — the campaign winds down between cells, releases its sqlite
+    claims and flushes/closes the store before the process exits,
+    instead of leaving leases to expire for dead-PID reclaim.  A
+    second signal restores the default disposition and re-raises
+    itself, so a wedged campaign can still be killed the hard way.
+
+    Only the main thread may install signal handlers; anywhere else
+    (e.g. the job service's worker threads, which have their own
+    cancel events) this is a no-op that yields a never-set event.
+    """
+    event = threading.Event()
+    if threading.current_thread() is not threading.main_thread():
+        yield event
+        return
+
+    def handler(signum, _frame):
+        if event.is_set():  # second signal: die for real
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+        event.set()
+
+    previous = {}
+    for signum in signals:
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platform
+            pass
+    try:
+        yield event
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)

@@ -54,6 +54,36 @@ def format_universe_list() -> str:
     return ascii_table(("universe", "layer", "description"), rows)
 
 
+def census_data(
+    circuit: str, universes: list[str] | None = None
+) -> dict:
+    """Machine-readable census of one registry circuit (the
+    ``--json`` payload; :func:`format_census` renders the same data as
+    the human table)."""
+    from repro.campaign.registry import get_registry
+
+    network = get_registry().load(circuit)
+    stats = network.stats()
+    names = universes if universes is not None else universe_names()
+    rows = []
+    for name in names:
+        s = get_universe(name).stats(network)
+        rows.append({
+            "universe": s.universe,
+            "layer": s.layer,
+            "faults": s.n_faults,
+            "collapsed": s.n_collapsed,
+            "kinds": {k: n for k, n in s.by_kind},
+        })
+    return {
+        "circuit": circuit,
+        "gates": stats["gates"],
+        "inputs": stats["inputs"],
+        "outputs": stats["outputs"],
+        "universes": rows,
+    }
+
+
 def format_census(circuit: str, universes: list[str] | None = None) -> str:
     """Census of one registry circuit across (selected) universes.
 
@@ -89,6 +119,17 @@ def cmd_faults_list(args) -> int:
 
 
 def cmd_faults_census(args) -> int:
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(
+            [
+                census_data(circuit, universes=args.universes)
+                for circuit in args.circuits
+            ],
+            indent=1, sort_keys=True,
+        ))
+        return 0
     blocks = [
         format_census(circuit, universes=args.universes)
         for circuit in args.circuits

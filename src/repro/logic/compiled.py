@@ -860,6 +860,28 @@ class CompiledNetwork:
 _COMPILE_MEMO: dict[tuple, CompiledNetwork] = {}
 _COMPILE_MEMO_MAX = 64
 
+#: Hit/miss/eviction counters for the memo (``instance_hits`` are the
+#: per-``Network`` short-circuit, ``hits`` the cross-instance memo).
+#: Plain dict so the core stays free of the service layer; the metrics
+#: registry reads it through a collector
+#: (:func:`repro.service.metrics.install_cache_collectors`) and
+#: ``repro cache stats`` renders it.
+_MEMO_STATS = {"instance_hits": 0, "hits": 0, "misses": 0, "evictions": 0}
+
+
+def compile_memo_stats() -> dict[str, int]:
+    """Snapshot of the :func:`compile_network` memo counters."""
+    return dict(_MEMO_STATS)
+
+
+def clear_compile_memo() -> None:
+    """Drop every memoised compiled network (and reset the counters).
+    Networks keep their per-instance cache; use
+    :func:`invalidate_network` to drop that too."""
+    _COMPILE_MEMO.clear()
+    for key in _MEMO_STATS:
+        _MEMO_STATS[key] = 0
+
 
 def structural_fingerprint(network: Network) -> tuple:
     """Cheap structural identity of a network.
@@ -892,6 +914,7 @@ def compile_network(network: Network) -> CompiledNetwork:
     """
     cnet = network._compiled
     if cnet is not None:
+        _MEMO_STATS["instance_hits"] += 1
         return cnet
     if network.flops:
         from repro.logic.network import SequentialNetworkError
@@ -904,10 +927,14 @@ def compile_network(network: Network) -> CompiledNetwork:
     key = structural_fingerprint(network)
     cnet = _COMPILE_MEMO.get(key)
     if cnet is None:
+        _MEMO_STATS["misses"] += 1
         cnet = CompiledNetwork(network)
         while len(_COMPILE_MEMO) >= _COMPILE_MEMO_MAX:
             del _COMPILE_MEMO[next(iter(_COMPILE_MEMO))]
+            _MEMO_STATS["evictions"] += 1
         _COMPILE_MEMO[key] = cnet
+    else:
+        _MEMO_STATS["hits"] += 1
     network._compiled = cnet
     return cnet
 

@@ -1,0 +1,42 @@
+"""Campaign job service: async submit/status/results API + live metrics.
+
+Three layers (see ``docs/SERVICE.md``):
+
+* :mod:`repro.service.metrics` — dependency-free Prometheus-text
+  counters/gauges/histograms, importable in-process and rendered at
+  ``GET /metrics``.
+* :mod:`repro.service.jobs` — the async job manager: submit a campaign
+  spec, get a job id; jobs run on background workers over the shared
+  sqlite store, survive server SIGKILL and resume on restart.
+* :mod:`repro.service.api` — the stdlib HTTP surface
+  (``ThreadingHTTPServer``): ``POST /jobs``, ``GET /jobs/<id>``,
+  ``GET /jobs/<id>/results``, ``DELETE /jobs/<id>``, ``GET /healthz``,
+  ``GET /metrics`` — wired to ``python -m repro serve``.
+
+This ``__init__`` stays lazy: :mod:`repro.campaign.runner` imports
+``repro.service.metrics`` for instrumentation, so eagerly importing
+``jobs``/``api`` here (which import the runner back) would be a cycle.
+"""
+
+from __future__ import annotations
+
+_LAZY = {
+    "JobManager": "repro.service.jobs",
+    "JobSpec": "repro.service.jobs",
+    "ServiceClient": "repro.service.api",
+    "create_server": "repro.service.api",
+    "serve_forever": "repro.service.api",
+    "REGISTRY": "repro.service.metrics",
+    "Registry": "repro.service.metrics",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
